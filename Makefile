@@ -1,0 +1,31 @@
+# Convenience targets for logp-collectives.
+
+PY ?= python3
+
+.PHONY: install test bench figures sweeps examples all clean
+
+install:
+	$(PY) -m pip install -e . --no-build-isolation
+
+test:
+	$(PY) -m pytest tests/
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+figures:
+	$(PY) -m repro.cli figures
+
+sweeps:
+	$(PY) -m repro.cli sweeps
+
+examples:
+	@for ex in examples/*.py; do \
+		echo "== $$ex"; $(PY) $$ex || exit 1; \
+	done
+
+all: test bench
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true
+	rm -rf .pytest_cache .hypothesis src/*.egg-info

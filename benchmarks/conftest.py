@@ -1,0 +1,8 @@
+"""Benchmark-suite configuration.
+
+Each benchmark module regenerates one of the paper's figures (or a
+theorem-validation sweep), asserts the paper's claims about it, and
+times the regeneration with pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""

@@ -1,0 +1,81 @@
+"""Theorem-validation sweeps (THM22, THM31/36, THM41, LEM51).
+
+These benchmarks regenerate the paper's quantitative claims across
+parameter grids rather than a single figure:
+
+* THM22 — ``P(t) = f_t`` (generalized Fibonacci) for every ``L, t``;
+* THM31/THM36 — measured k-item broadcast times sit between the
+  Theorem 3.1 lower bound and the Theorem 3.6 upper bound everywhere;
+* THM41 — combining broadcast reaches ``P(T)`` processors in ``T`` steps
+  with the exact window invariant, a 2x saving over reduce+broadcast;
+* LEM51 — the summation capacity formula matches, and dominates
+  binary-tree reduction everywhere.
+"""
+
+from repro.experiments.sweeps import (
+    combining_sweep,
+    kitem_bounds_sweep,
+    pt_recurrence_sweep,
+    summation_capacity_sweep,
+)
+
+
+def test_thm22_pt_equals_fib(benchmark):
+    rows = benchmark(pt_recurrence_sweep)
+    assert rows, "sweep must produce rows"
+    for row in rows:
+        assert row["P(t)_tree"] == row["f_t"], row
+    print(f"\nTHM22: P(t) == f_t on all {len(rows)} (L, t) points")
+
+
+def test_thm31_thm36_sandwich(benchmark):
+    rows = benchmark(kitem_bounds_sweep)
+    for row in rows:
+        assert row["lower_bound"] <= row["ours"] <= row["upper_bound_thm36"], row
+        assert row["repeated_bcast"] >= row["ours"], row
+    wins = [row["repeated_bcast"] / row["ours"] for row in rows if row["P"] >= 5]
+    print(f"\nTHM31/36: sandwich holds on {len(rows)} points; "
+          f"pipelining beats repeated broadcast by up to {max(wins):.1f}x")
+
+
+def test_thm41_combining(benchmark):
+    rows = benchmark(combining_sweep)
+    for row in rows:
+        assert row["complete"] and row["invariant"], row
+        assert row["T"] <= row["reduce_then_broadcast"], row
+    print(f"\nTHM41: combining completes with the window invariant on {len(rows)} points")
+
+
+def test_lem51_capacity(benchmark):
+    rows = benchmark(summation_capacity_sweep)
+    for row in rows:
+        assert row["optimal_n"] >= row["binary_reduction_n"], row
+    gains = [
+        row["optimal_n"] / max(row["binary_reduction_n"], 1) for row in rows
+    ]
+    print(f"\nLEM51: optimal capacity dominates binary reduction "
+          f"(up to {max(gains):.0f}x more operands in the same time)")
+
+
+def test_thm34_thm35_l2(benchmark):
+    """L=2: the optimum is unachievable (exhaustive refutation) while the
+    Theorem 3.5 pruned-tree construction delivers delay+1 every time."""
+    from repro.core.continuous.l2 import (
+        block_cyclic_feasible,
+        delay_plus_one_assignment,
+    )
+
+    def run():
+        infeasible = [t for t in range(4, 9) if not block_cyclic_feasible(t)]
+        achieved = {}
+        for t in range(3, 9):
+            a = delay_plus_one_assignment(t)
+            achieved[t] = a.delay if a else None
+        return infeasible, achieved
+
+    infeasible, achieved = benchmark(run)
+    assert infeasible == list(range(4, 9))
+    for t, delay in achieved.items():
+        assert delay == 2 + t + 1, (t, delay)
+    print(f"\nTHM34: no block-cyclic optimum for t in {infeasible}; "
+          f"THM35: delay+1 achieved at every t in {sorted(achieved)}")

@@ -1,0 +1,16 @@
+"""FIG1: optimal single-item broadcast, P=8, L=6, g=4, o=2 (Figure 1).
+
+Regenerates the optimal broadcast tree and the per-processor activity
+timeline; asserts the paper's completion time B(8) = 24 and the exact
+node delays visible in the figure.
+"""
+
+from repro.experiments.figures import fig1_single_item
+
+
+def test_fig1(benchmark):
+    result = benchmark(fig1_single_item)
+    assert result.measured["B(P)"] == result.measured["paper_B(P)"] == 24
+    assert result.measured["node_delays"] == [0, 10, 14, 18, 20, 22, 24, 24]
+    print()
+    print(result)

@@ -1,0 +1,20 @@
+"""FIG2: continuous broadcast and k-item broadcast, P=10, L=3, k=8 (Figure 2).
+
+Regenerates all four panels: the optimal tree T9, the per-step reception
+multiset S (the paper's {a,a,a,b,b,c,D1,E2,H5}), the legal-word automaton
+for L=3, the block-cyclic continuous schedule (per-item delay exactly
+L + B(P-1) = 10), and the k=8 broadcast completing at 17 = L + B + k - 1.
+"""
+
+from repro.experiments.figures import fig2_continuous
+
+
+def test_fig2(benchmark):
+    result = benchmark(fig2_continuous)
+    m = result.measured
+    assert m["item_delay"] == m["paper_item_delay"] == [10]
+    assert m["k8_completion"] == m["paper_k8_completion"] == 17
+    assert m["measured_S7"] == m["paper_S7"]
+    assert m["kitem_lower_bound"] == 15  # Theorem 3.1
+    print()
+    print(result)

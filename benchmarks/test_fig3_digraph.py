@@ -1,0 +1,19 @@
+"""FIG3: block transmission digraph, L=3, P-1 = P(11) = 41 (Figure 3).
+
+Rebuilds the r-block decomposition and the endgame routing digraph of
+Theorem 3.7; asserts the paper's vertex set (blocks 9,6,5,4,3,3,2,2,2,
+1,1,1,1 plus the receive-only vertex) and flow conservation (inbound =
+outbound = r at every block).
+"""
+
+from repro.experiments.figures import fig3_digraph
+
+
+def test_fig3(benchmark):
+    result = benchmark(fig3_digraph)
+    m = result.measured
+    assert m["P_minus_1"] == m["paper_P_minus_1"] == 41
+    assert m["block_sizes"] == [9, 6, 5, 4, 3, 3, 2, 2, 2, 1, 1, 1, 1]
+    assert m["flow_conserved"]
+    print()
+    print(result)

@@ -1,0 +1,19 @@
+"""FIG5: buffered-model optimal k-item broadcast, L=3, P-1=13, k=14 (Fig 5).
+
+Theorem 3.8: with a 2-slot input buffer the single-sending lower bound
+B + L + k - 1 = 24 is achievable.  The regenerated reception table marks
+active items (parentheses — the paper's circles) and buffer-delayed
+items (brackets — the paper's boxes).
+"""
+
+from repro.experiments.figures import fig5_buffered
+
+
+def test_fig5(benchmark):
+    result = benchmark(fig5_buffered)
+    m = result.measured
+    assert m["completion"] == m["paper_completion"] == 24
+    assert m["buffer_peak"] <= m["paper_buffer_bound"] == 2
+    assert m["delayed_receptions"] > 0
+    print()
+    print(result)

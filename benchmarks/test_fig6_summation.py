@@ -1,0 +1,19 @@
+"""FIG6: optimal summation, t=28, P=8, L=5, g=4, o=2 (Figure 6).
+
+The communication pattern is the time reversal of the optimal broadcast
+tree for L+1 = 6 (exactly Figure 1's tree); the computation schedule
+keeps every processor busy until its send.  Asserts the Lemma 5.1
+capacity n(28) = 79 and functional correctness of the full plan.
+"""
+
+from repro.experiments.figures import fig6_summation
+
+
+def test_fig6(benchmark):
+    result = benchmark(fig6_summation)
+    m = result.measured
+    assert m["n(t)"] == m["capacity_formula"] == 79
+    assert m["verified_total"]
+    assert sum(m["operands_per_proc"]) == 79
+    print()
+    print(result)

@@ -1,0 +1,60 @@
+"""Scalability benchmarks: the library at sizes well beyond the paper's.
+
+* optimal-tree construction for thousands of processors (heap build);
+* stitched continuous-broadcast solving for large ``t`` (the §3.3
+  induction keeps it linear);
+* vectorized analysis vs the scalar helpers on a large schedule.
+"""
+
+import pytest
+
+from repro.core.continuous.assignment import solve
+from repro.core.continuous.schedule import expand_assignment
+from repro.core.fib import reachable_postal
+from repro.core.single_item import optimal_broadcast_schedule
+from repro.core.tree import optimal_tree
+from repro.params import postal
+from repro.schedule.analysis import completion_time
+from repro.schedule.analysis_np import columns, completion_time_np
+
+
+def test_tree_construction_P10000(benchmark):
+    tree = benchmark(lambda: optimal_tree(postal(P=10_000, L=4)))
+    assert len(tree) == 10_000
+    tree.validate()
+
+
+def test_stitched_continuous_t25(benchmark):
+    from repro.core.continuous.assignment import _solve_cached
+
+    def run():
+        _solve_cached.cache_clear()  # measure real work, not the cache
+        return solve(25, 3)
+
+    assignment = benchmark(run)
+    assignment.validate()
+    # P(25) = 8641 processors for L=3; the induction keeps solving fast
+    assert assignment.num_processors == reachable_postal(25, 3) == 8641
+    assert assignment.delay == 28
+
+
+def test_vectorized_analysis(benchmark):
+    schedule = optimal_broadcast_schedule(postal(P=5_000, L=3))
+
+    def run():
+        cols = columns(schedule)
+        return completion_time_np(cols)
+
+    fast = benchmark(run)
+    assert fast == completion_time(schedule)
+
+
+def test_continuous_expansion_window(benchmark):
+    assignment = solve(12, 3)
+
+    def run():
+        return expand_assignment(assignment, num_items=60)
+
+    schedule = benchmark(run)
+    # P(12) = 60 procs x 60 items
+    assert len(schedule.sends) == reachable_postal(12, 3) * 60

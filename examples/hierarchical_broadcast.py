@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Two-level broadcast on a cluster of multicore nodes.
+
+Scenario: 8 nodes x 8 cores.  Within a node messages are cheap
+(L=2, o=1, g=1); across nodes they are expensive (L=24, o=2, g=6).
+A topology-oblivious broadcast pays inter-node cost for most hops; the
+two-level plan broadcasts among node leaders on the slow fabric, then
+fans out inside each node on the fast one.  This example prices both
+with the optimal planners and shows the decomposition — and also what
+the *best case* (all 64 ranks on the fast fabric) would cost, bounding
+what any topology-aware scheme could hope for.
+
+Run:  python examples/hierarchical_broadcast.py
+"""
+
+from repro.comm import Communicator, embed_plan
+from repro.core.fib import broadcast_time
+from repro.params import LogPParams
+
+NODES, CORES = 8, 8
+INTER = LogPParams(P=NODES, L=24, o=2, g=6)       # leader <-> leader
+INTRA = LogPParams(P=CORES, L=2, o=1, g=1)        # within one node
+FLAT = LogPParams(P=NODES * CORES, L=24, o=2, g=6)  # oblivious view
+
+
+def main() -> None:
+    total_ranks = NODES * CORES
+    print(f"cluster: {NODES} nodes x {CORES} cores = {total_ranks} ranks")
+    print(f"inter-node fabric: {INTER}")
+    print(f"intra-node fabric: {INTRA}\n")
+
+    # --- topology-oblivious: optimal tree over the slow fabric ---------
+    flat_cycles = broadcast_time(total_ranks, FLAT)
+    print(f"flat (oblivious) optimal broadcast: {flat_cycles} cycles")
+
+    # --- two-level: leaders first, then local fan-out -------------------
+    leaders = Communicator(INTER)
+    inter_plan = leaders.bcast(root=0)
+    local = Communicator(INTRA)
+    intra_plan = local.bcast(root=0)
+    two_level = inter_plan.cycles + intra_plan.cycles
+    print(
+        f"two-level broadcast: {inter_plan.cycles} (leaders) + "
+        f"{intra_plan.cycles} (intra-node) = {two_level} cycles"
+    )
+    speedup = flat_cycles / two_level
+    print(f"topology awareness buys {speedup:.2f}x on this machine\n")
+
+    # --- what's the floor? all ranks on the fast fabric -----------------
+    dream = broadcast_time(total_ranks, INTRA.with_processors(total_ranks))
+    print(f"(lower bound if the whole cluster had the fast fabric: {dream} cycles)")
+
+    # --- show the leader plan embedded on global ranks ------------------
+    # leaders sit at global ranks 0, 8, 16, ...
+    mapping = {i: i * CORES for i in range(NODES)}
+    lifted = embed_plan(inter_plan, mapping)
+    sends = [(op.time, op.src, op.dst) for op in lifted.sorted_sends()]
+    print("\nleader-phase messages on global ranks (time, src, dst):")
+    for row in sends:
+        print(f"  {row}")
+
+
+if __name__ == "__main__":
+    main()

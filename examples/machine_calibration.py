@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""End to end: measure a machine, fit LogP, plan an application.
+
+Scenario: you've run the standard LogP micro-benchmarks (ping-pong,
+message burst, overlap probe) on a cluster and captured the raw numbers.
+This example fits the `(L, o, g)` parameters from the (noisy)
+measurements, then prices a CG-solver-like communication trace under the
+optimal collectives vs a classic binomial-tree MPI suite — turning the
+paper's theory into a deployment decision.
+
+Run:  python examples/machine_calibration.py
+"""
+
+from repro.fitting import fit_logp, simulate_measurements
+from repro.params import LogPParams
+from repro.viz.svg import save_svg
+from repro.core.single_item import optimal_broadcast_schedule
+from repro.workload import WorkloadTrace, plan_workload
+
+# The "real" machine we pretend to measure (unknown to the fitter).
+TRUE_MACHINE = LogPParams(P=32, L=18, o=2, g=5)
+
+
+def main() -> None:
+    # --- 1. measure -------------------------------------------------------
+    data = simulate_measurements(TRUE_MACHINE, noise=0.5, seed=3, trials=200)
+    print(f"ping-pong mean: {data.pingpong.mean():.1f} cycles "
+          f"({len(data.pingpong)} trials)")
+    print(f"burst test: {len(data.burst_sizes)} sizes, "
+          f"slope ~ {((data.burst_times[-1]-data.burst_times[0]) / (len(data.burst_sizes)-1)):.2f}")
+
+    # --- 2. fit -----------------------------------------------------------
+    fitted = fit_logp(data, P=TRUE_MACHINE.P)
+    print(f"\nfitted machine: {fitted}")
+    print(f"true machine:   {TRUE_MACHINE}")
+    assert fitted == TRUE_MACHINE, "calibration failed"
+
+    # --- 3. plan the application trace ------------------------------------
+    # a CG-like iteration: 2 dot products (allreduce), 1 halo-ish bcast,
+    # and a chunk of local compute — 50 iterations plus setup.
+    postal_view = fitted.to_postal()
+    trace = WorkloadTrace("cg-like", postal_view)
+    trace.add("bcast", count=2)               # setup broadcasts
+    trace.add("kitem_bcast", count=1, arg=16) # distribute 16 parameter blocks
+    for _ in range(3):                        # compressed: 3 shown of 50
+        trace.add("allreduce", count=2)
+        trace.add("compute", count=1, arg=400)
+    report = plan_workload(trace)
+    print()
+    print(report.render())
+
+    # --- 4. artifacts ------------------------------------------------------
+    schedule = optimal_broadcast_schedule(fitted)
+    save_svg(schedule, "/tmp/optimal_bcast.svg",
+             title=f"optimal broadcast, {fitted}")
+    print("\nwrote /tmp/optimal_bcast.svg (open in a browser)")
+
+
+if __name__ == "__main__":
+    main()

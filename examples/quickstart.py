@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: optimal collectives on a LogP machine in ten lines each.
+
+Walks the core API end to end: describe a machine, build the optimal
+single-item broadcast, validate it on the simulator, inspect the tree
+and the timeline, then do the same for k-item broadcast and summation.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    LogPParams,
+    broadcast_time,
+    kitem_upper_bound,
+    min_summation_time,
+    optimal_broadcast_schedule,
+    optimal_tree,
+    replay,
+    single_sending_schedule,
+    summation_schedule,
+    verify_summation,
+)
+from repro.schedule.analysis import broadcast_delay_per_proc, item_completion_times
+from repro.viz.ascii import render_schedule_activity, render_tree
+
+
+def main() -> None:
+    # --- 1. describe your machine (the paper's Figure 1 parameters) -----
+    machine = LogPParams(P=8, L=6, o=2, g=4)
+    print(f"machine: {machine}")
+    print(f"optimal broadcast time B(P) = {broadcast_time(machine.P, machine)} cycles")
+
+    # --- 2. build and validate the optimal broadcast --------------------
+    schedule = optimal_broadcast_schedule(machine)
+    replay(schedule)  # raises if any LogP rule is violated
+    delays = broadcast_delay_per_proc(schedule)
+    print(f"per-processor arrival times: {dict(sorted(delays.items()))}")
+
+    # --- 3. look inside ---------------------------------------------------
+    print("\nthe optimal broadcast tree (not binomial!):")
+    print(render_tree(optimal_tree(machine)))
+    print("\nactivity timeline (s = send overhead, r = receive overhead):")
+    print(render_schedule_activity(schedule))
+
+    # --- 4. k-item broadcast (postal model) ------------------------------
+    P, L, k = 10, 3, 8
+    kitem = single_sending_schedule(k, P, L)
+    replay(kitem)
+    done = max(item_completion_times(kitem, set(range(P))).values())
+    print(f"\nbroadcasting k={k} items to P={P} (L={L}): {done} steps "
+          f"(Theorem 3.6 guarantees <= {kitem_upper_bound(P, L, k)})")
+
+    # --- 5. optimal summation --------------------------------------------
+    n = 79
+    t = min_summation_time(n, LogPParams(P=8, L=5, o=2, g=4))
+    plan = summation_schedule(t, LogPParams(P=8, L=5, o=2, g=4))
+    total = verify_summation(plan)
+    print(f"\nsumming n={n} operands on 8 processors: {t} cycles "
+          f"(functionally verified: total = {total})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Right-size a parallel summation (Section 5 applied).
+
+Scenario: you must reduce ``n`` partial results (e.g. per-shard gradient
+norms) on a LogP machine and want the provably fastest plan — including
+the decision of *how many* processors to involve and *how to deal the
+operands out* (the optimal distribution is lopsided: early-sending leaf
+processors get fewer operands).
+
+Run:  python examples/reduction_planner.py
+"""
+
+from repro import LogPParams, replay
+from repro.baselines.summation import binary_reduction_time, sequential_time
+from repro.core.summation.capacity import (
+    min_summation_time,
+    operand_distribution,
+    summation_capacity,
+)
+from repro.core.summation.schedule import summation_schedule, verify_summation
+from repro.viz.ascii import render_schedule_activity
+
+MACHINE = LogPParams(P=8, L=5, o=2, g=4)
+WORKLOADS = [4, 16, 79, 300, 1200]
+
+
+def main() -> None:
+    print(f"machine: {MACHINE}\n")
+    print(f"{'n':>6} {'optimal':>8} {'binary-tree':>12} {'sequential':>11}")
+    for n in WORKLOADS:
+        t_opt = min_summation_time(n, MACHINE)
+        t_bin = binary_reduction_time(n, MACHINE)
+        t_seq = sequential_time(n)
+        print(f"{n:>6} {t_opt:>8} {t_bin:>12} {t_seq:>11}")
+
+    # build and verify the full plan for the paper's Figure 6 instance
+    n = 79
+    t = min_summation_time(n, MACHINE)
+    plan = summation_schedule(t, MACHINE, operands=list(range(1, n + 1)))
+    total = verify_summation(plan)
+    replay(plan.to_schedule())
+    print(f"\nplan for n={n}: t={t} cycles, result={total} "
+          f"(= {n * (n + 1) // 2}, functionally verified)")
+
+    print("\noptimal operand distribution (processor -> #operands):")
+    dist = operand_distribution(t, MACHINE)
+    for proc, count in enumerate(dist):
+        print(f"  P{proc}: {'#' * count} ({count})")
+
+    print("\nexecution timeline (+ = addition, r = receive, s = send):")
+    print(render_schedule_activity(plan.to_schedule()))
+
+    # marginal value of time: capacity grows by P per extra cycle
+    print("\ncapacity n(t) near the chosen t:")
+    for tt in range(t - 2, t + 3):
+        try:
+            print(f"  t={tt}: n={summation_capacity(tt, MACHINE)}")
+        except ValueError:
+            print(f"  t={tt}: infeasible (receive slots don't fit)")
+
+
+if __name__ == "__main__":
+    main()

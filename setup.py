@@ -1,0 +1,4 @@
+"""Setup shim for environments without the `wheel` package (offline installs)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,27 @@
+"""Baseline algorithms the paper's constructions are compared against."""
+
+from repro.baselines.kitem import (
+    repeated_broadcast_schedule,
+    scatter_allgather_schedule,
+    staggered_binomial_schedule,
+)
+from repro.baselines.summation import (
+    binary_reduction_capacity,
+    binary_reduction_time,
+    sequential_time,
+)
+from repro.baselines.trees import (
+    baseline_broadcast,
+    binary_tree_schedule,
+    binomial_tree_schedule,
+    chain_schedule,
+    flat_schedule,
+)
+
+__all__ = [
+    "flat_schedule", "chain_schedule", "binary_tree_schedule",
+    "binomial_tree_schedule", "baseline_broadcast",
+    "repeated_broadcast_schedule", "staggered_binomial_schedule",
+    "scatter_allgather_schedule",
+    "binary_reduction_time", "binary_reduction_capacity", "sequential_time",
+]

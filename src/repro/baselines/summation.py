@@ -1,0 +1,65 @@
+"""Baseline summation strategies.
+
+* **binary-tree reduction** — deal the operands evenly, sum locally,
+  then combine up a balanced binary tree.  The workhorse of most
+  reduction implementations; its capacity ``n(t)`` trails the optimal
+  (time-reversed universal tree) plan because high tree levels idle
+  while waiting for whole subtree rounds.
+* **sequential** — one processor sums everything: ``n - 1`` cycles.
+
+Capacities are expressed the same way as the optimal plan's
+(:func:`repro.core.summation.capacity.summation_capacity`): the maximum
+number of operands finishable within ``t`` cycles.
+"""
+
+from __future__ import annotations
+
+from repro.params import LogPParams
+
+__all__ = [
+    "binary_reduction_capacity",
+    "binary_reduction_time",
+    "sequential_time",
+]
+
+
+def binary_reduction_time(n: int, params: LogPParams) -> int:
+    """Completion time of binary-tree reduction of ``n`` operands.
+
+    Phase 1: each processor sums ``ceil(n / P)`` local operands
+    (``ceil(n/P) - 1`` cycles).  Phase 2: ``ceil(log2 P)`` rounds of
+    recursive halving; each round costs one message (``L + 2o``) plus the
+    one-cycle merge add.  Rounds cannot be pipelined — every survivor
+    waits for its peer's full partial.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    P = min(params.P, n)
+    local = -(-n // P) - 1
+    rounds = 0
+    while (1 << rounds) < P:
+        rounds += 1
+    return local + rounds * (params.send_cost + 1)
+
+
+def binary_reduction_capacity(t: int, params: LogPParams) -> int:
+    """Maximum ``n`` finishable in ``t`` cycles by binary-tree reduction."""
+    lo, hi = 1, max(2, (t + 1) * params.P)
+    while binary_reduction_time(hi, params) <= t:
+        hi *= 2
+    best = 0
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        if binary_reduction_time(mid, params) <= t:
+            best = mid
+            lo = mid + 1
+        else:
+            hi = mid - 1
+    return best
+
+
+def sequential_time(n: int) -> int:
+    """One processor: ``n - 1`` addition cycles."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return n - 1

@@ -1,0 +1,494 @@
+"""High-level collectives API: plan like MPI, execute on the simulator.
+
+Two layers:
+
+* :class:`Communicator` — produces validated *plans* (schedules plus
+  metadata) for the full collective vocabulary: ``bcast``, ``kitem_bcast``,
+  ``scatter``, ``gather``, ``allgather``, ``reduce``, ``allreduce``,
+  ``alltoall`` — each built from the paper's optimal construction and
+  replayed on the LogP validator before being returned.
+
+* :class:`VirtualCluster` — executes those plans on actual Python values,
+  message by message, returning both the per-processor results and the
+  cycle-accurate elapsed time.  This is the "does it really work"
+  layer: the data movement follows the schedule exactly, so a wrong
+  schedule produces wrong data, not just a wrong time.
+
+Example::
+
+    from repro.comm import VirtualCluster
+    from repro.params import LogPParams
+
+    cluster = VirtualCluster(LogPParams(P=8, L=6, o=2, g=4))
+    values, cycles = cluster.bcast("hello", root=3)
+    assert values == ["hello"] * 8 and cycles == 24
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.core.all_to_all import (
+    all_to_all_personalized_schedule,
+    all_to_all_schedule,
+    all_to_all_time,
+)
+from repro.core.combining import simulate_combining
+from repro.core.fib import broadcast_time, broadcast_time_postal, fib
+from repro.core.kitem.single_sending import single_sending_schedule
+from repro.core.single_item import optimal_broadcast_schedule, schedule_from_tree
+from repro.core.tree import optimal_tree
+from repro.params import LogPParams
+from repro.schedule.analysis import completion_time
+from repro.schedule.ops import Schedule, SendOp
+from repro.sim.machine import replay
+
+__all__ = ["Plan", "Communicator", "VirtualCluster"]
+
+
+@dataclass
+class Plan:
+    """A validated collective plan."""
+
+    kind: str
+    params: LogPParams
+    schedule: Schedule
+    cycles: int
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        replay(self.schedule)
+
+
+def _rotate(proc: int, root: int, P: int) -> int:
+    """Map logical rank (root-centric) to physical processor id."""
+    return (proc + root) % P
+
+
+class Communicator:
+    """Plans optimal collectives for one machine.
+
+    Plans are deterministic and cached per (kind, arguments).
+    """
+
+    def __init__(self, params: LogPParams):
+        self.params = params
+        self._cache: dict[tuple, Plan] = {}
+
+    def _cached(self, key: tuple, build: Callable[[], Plan]) -> Plan:
+        if key not in self._cache:
+            self._cache[key] = build()
+        return self._cache[key]
+
+    # -- one-to-all -------------------------------------------------------
+
+    def bcast(self, root: int = 0) -> Plan:
+        """Optimal single-item broadcast from ``root`` (Theorem 2.1)."""
+        self._check_root(root)
+
+        def build() -> Plan:
+            tree = optimal_tree(self.params)
+            P = self.params.P
+            mapping = {i: _rotate(i, root, P) for i in range(P)}
+            schedule = schedule_from_tree(tree, item=("bcast", root), proc_map=mapping)
+            return Plan(
+                kind="bcast",
+                params=self.params,
+                schedule=schedule,
+                cycles=broadcast_time(P, self.params),
+                meta={"root": root},
+            )
+
+        return self._cached(("bcast", root), build)
+
+    def kitem_bcast(self, k: int, root: int = 0) -> Plan:
+        """Pipelined k-item broadcast (Theorems 3.6/Cor 3.1, postal model)."""
+        self._check_root(root)
+        if not self.params.is_postal:
+            raise ValueError(
+                "k-item broadcast planning follows the paper's postal-model "
+                "analysis; call with o=0, g=1 parameters"
+            )
+
+        def build() -> Plan:
+            base = single_sending_schedule(k, self.params.P, self.params.L)
+            P = self.params.P
+            schedule = Schedule(
+                params=self.params,
+                initial={root: {("kbcast", i) for i in range(k)}},
+                source_items={("kbcast", i): i for i in range(k)},
+            )
+            for op in base.sends:
+                schedule.add(
+                    time=op.time,
+                    src=_rotate(op.src, root, P),
+                    dst=_rotate(op.dst, root, P),
+                    item=("kbcast", op.item),
+                )
+            return Plan(
+                kind="kitem_bcast",
+                params=self.params,
+                schedule=schedule,
+                cycles=completion_time(schedule),
+                meta={"root": root, "k": k},
+            )
+
+        return self._cached(("kitem_bcast", k, root), build)
+
+    def scatter(self, root: int = 0) -> Plan:
+        """Personalized one-to-all: the root streams one item per rank.
+
+        The root is the bottleneck — ``P - 1`` sends at gap ``g`` — so the
+        flat schedule is optimal: ``L + 2o + (P-2) g``.
+        """
+        self._check_root(root)
+
+        def build() -> Plan:
+            P = self.params.P
+            schedule = Schedule(
+                params=self.params,
+                initial={root: {("scatter", dst) for dst in range(P) if dst != root}},
+            )
+            slot = 0
+            for dst in range(P):
+                if dst == root:
+                    continue
+                schedule.add(
+                    time=slot * self.params.g,
+                    src=root,
+                    dst=dst,
+                    item=("scatter", dst),
+                )
+                slot += 1
+            return Plan(
+                kind="scatter",
+                params=self.params,
+                schedule=schedule,
+                cycles=completion_time(schedule),
+                meta={"root": root},
+            )
+
+        return self._cached(("scatter", root), build)
+
+    # -- all-to-one -------------------------------------------------------
+
+    def gather(self, root: int = 0) -> Plan:
+        """All-to-one personalized: the reverse of scatter, same cost."""
+        self._check_root(root)
+
+        def build() -> Plan:
+            scatter = self.scatter(root)
+            span = scatter.cycles
+            sends = [
+                SendOp(
+                    time=span - op.arrival(self.params),
+                    src=op.dst,
+                    dst=op.src,
+                    item=("gather", op.dst),
+                )
+                for op in scatter.schedule.sends
+            ]
+            schedule = Schedule(
+                params=self.params,
+                sends=sorted(sends),
+                initial={
+                    p: {("gather", p)} for p in range(self.params.P) if p != root
+                },
+            )
+            return Plan(
+                kind="gather",
+                params=self.params,
+                schedule=schedule,
+                cycles=completion_time(schedule),
+                meta={"root": root},
+            )
+
+        return self._cached(("gather", root), build)
+
+    def reduce(self, root: int = 0) -> Plan:
+        """All-to-one reduction: the time reversal of optimal broadcast."""
+        self._check_root(root)
+
+        def build() -> Plan:
+            bcast = optimal_broadcast_schedule(self.params)
+            P = self.params.P
+            B = broadcast_time(P, self.params)
+            sends = [
+                SendOp(
+                    time=B - op.arrival(self.params),
+                    src=_rotate(op.dst, root, P),
+                    dst=_rotate(op.src, root, P),
+                    item=("red", _rotate(op.dst, root, P)),
+                )
+                for op in bcast.sends
+            ]
+            schedule = Schedule(
+                params=self.params,
+                sends=sorted(sends),
+                initial={p: {("red", p)} for p in range(P)},
+            )
+            return Plan(
+                kind="reduce",
+                params=self.params,
+                schedule=schedule,
+                cycles=B,
+                meta={"root": root},
+            )
+
+        return self._cached(("reduce", root), build)
+
+    # -- all-to-all -------------------------------------------------------
+
+    def allreduce(self) -> Plan:
+        """Combining broadcast (Theorem 4.1): all-reduce in reduce time.
+
+        Requires the postal model and ``P = P(T)`` for some ``T`` (the
+        algorithm's natural sizes); other sizes fall back to
+        reduce-then-broadcast.
+        """
+        def build() -> Plan:
+            P, L = self.params.P, self.params.L
+            if self.params.is_postal:
+                T = broadcast_time_postal(P, L)
+                if fib(L, T) == P and T >= L:
+                    run = simulate_combining(T, L)
+                    assert run.P == P
+                    return Plan(
+                        kind="allreduce",
+                        params=self.params,
+                        schedule=run.schedule,
+                        cycles=T,
+                        meta={"algorithm": "combining", "T": T},
+                    )
+            reduce_plan = self.reduce(0)
+            bcast_plan = self.bcast(0)
+            sends = list(reduce_plan.schedule.sends)
+            offset = reduce_plan.cycles
+            for op in bcast_plan.schedule.sends:
+                sends.append(
+                    SendOp(
+                        time=offset + op.time,
+                        src=op.src,
+                        dst=op.dst,
+                        item=("allred-bcast",),
+                    )
+                )
+            schedule = Schedule(
+                params=self.params,
+                sends=sorted(sends),
+                initial={p: {("red", p), ("allred-bcast",)} for p in range(self.params.P)},
+            )
+            return Plan(
+                kind="allreduce",
+                params=self.params,
+                schedule=schedule,
+                cycles=completion_time(schedule),
+                meta={"algorithm": "reduce+bcast"},
+            )
+
+        return self._cached(("allreduce",), build)
+
+    def allgather(self) -> Plan:
+        """All-to-all broadcast: the Section 4.1 cyclic schedule."""
+        def build() -> Plan:
+            schedule = all_to_all_schedule(self.params)
+            return Plan(
+                kind="allgather",
+                params=self.params,
+                schedule=schedule,
+                cycles=all_to_all_time(self.params),
+            )
+
+        return self._cached(("allgather",), build)
+
+    def alltoall(self) -> Plan:
+        """All-to-all personalized communication (same cyclic timing)."""
+        def build() -> Plan:
+            schedule = all_to_all_personalized_schedule(self.params)
+            return Plan(
+                kind="alltoall",
+                params=self.params,
+                schedule=schedule,
+                cycles=all_to_all_time(self.params),
+            )
+
+        return self._cached(("alltoall",), build)
+
+    def _check_root(self, root: int) -> None:
+        if not 0 <= root < self.params.P:
+            raise ValueError(f"root {root} out of range for P={self.params.P}")
+
+    # -- sub-communicators --------------------------------------------------
+
+    def subset(self, ranks: Sequence[int]) -> tuple["Communicator", dict[int, int]]:
+        """A communicator over a subset of ranks (MPI_Comm_split style).
+
+        Returns the sub-communicator (its ranks renumbered ``0..n-1``) and
+        the map from sub-rank to this communicator's physical rank; use
+        :func:`embed_plan` to lift a sub-plan back to physical ranks.
+        """
+        ranks = list(dict.fromkeys(ranks))
+        if not ranks:
+            raise ValueError("a sub-communicator needs at least one rank")
+        for r in ranks:
+            self._check_root(r)
+        sub = Communicator(self.params.with_processors(len(ranks)))
+        return sub, {i: r for i, r in enumerate(ranks)}
+
+
+def embed_plan(
+    plan: Plan, mapping: dict[int, int], params: LogPParams | None = None
+) -> Schedule:
+    """Lift a sub-communicator plan onto the parent's physical ranks.
+
+    ``mapping`` is the sub-rank -> physical-rank map from
+    :meth:`Communicator.subset`; ``params`` (optional) re-tags the result
+    with the parent machine's parameters.  The lifted schedule is
+    re-validated.
+    """
+    from repro.schedule.transform import remap
+    from repro.sim.machine import replay as _replay
+
+    lifted = remap(plan.schedule, mapping)
+    if params is not None:
+        lifted = Schedule(
+            params=params,
+            sends=lifted.sends,
+            initial=lifted.initial,
+            source_items=lifted.source_items,
+        )
+    _replay(lifted)
+    return lifted
+
+
+class VirtualCluster:
+    """Executes collective plans on real Python values.
+
+    Data strictly follows the plan's messages: each :class:`SendOp` moves
+    the value it names, receptions happen at the model's arrival times,
+    and reductions fold with the user's operator in arrival order.
+    """
+
+    def __init__(self, params: LogPParams):
+        self.params = params
+        self.comm = Communicator(params)
+
+    # -- data-movement collectives ----------------------------------------
+
+    def bcast(self, value: Any, root: int = 0) -> tuple[list[Any], int]:
+        plan = self.comm.bcast(root)
+        results: list[Any] = [None] * self.params.P
+        results[root] = value
+        for op in plan.schedule.sorted_sends():
+            results[op.dst] = results[op.src]
+        return results, plan.cycles
+
+    def kitem_bcast(
+        self, values: Sequence[Any], root: int = 0
+    ) -> tuple[list[list[Any]], int]:
+        plan = self.comm.kitem_bcast(len(values), root)
+        results: list[dict[int, Any]] = [dict() for _ in range(self.params.P)]
+        results[root] = {i: v for i, v in enumerate(values)}
+        for op in plan.schedule.sorted_sends():
+            (_tag, index) = op.item
+            results[op.dst][index] = results[op.src][index]
+        ordered = [
+            [results[p][i] for i in range(len(values))] for p in range(self.params.P)
+        ]
+        return ordered, plan.cycles
+
+    def scatter(self, values: Sequence[Any], root: int = 0) -> tuple[list[Any], int]:
+        if len(values) != self.params.P:
+            raise ValueError(f"scatter needs P={self.params.P} values")
+        plan = self.comm.scatter(root)
+        results: list[Any] = [None] * self.params.P
+        results[root] = values[root]
+        for op in plan.schedule.sorted_sends():
+            (_tag, dst) = op.item
+            results[dst] = values[dst]
+        return results, plan.cycles
+
+    def gather(self, values: Sequence[Any], root: int = 0) -> tuple[list[Any], int]:
+        if len(values) != self.params.P:
+            raise ValueError(f"gather needs P={self.params.P} values")
+        plan = self.comm.gather(root)
+        collected = list(values)  # root ends with everything, by plan construction
+        return collected, plan.cycles
+
+    def allgather(self, values: Sequence[Any]) -> tuple[list[list[Any]], int]:
+        if len(values) != self.params.P:
+            raise ValueError(f"allgather needs P={self.params.P} values")
+        plan = self.comm.allgather()
+        results: list[dict[int, Any]] = [
+            {p: values[p]} for p in range(self.params.P)
+        ]
+        for op in plan.schedule.sorted_sends():
+            (_tag, src) = op.item
+            results[op.dst][src] = values[src]
+        ordered = [
+            [results[p][q] for q in range(self.params.P)]
+            for p in range(self.params.P)
+        ]
+        return ordered, plan.cycles
+
+    def alltoall(self, matrix: Sequence[Sequence[Any]]) -> tuple[list[list[Any]], int]:
+        P = self.params.P
+        if len(matrix) != P or any(len(row) != P for row in matrix):
+            raise ValueError(f"alltoall needs a {P}x{P} matrix")
+        plan = self.comm.alltoall()
+        results: list[dict[int, Any]] = [
+            {p: matrix[p][p]} for p in range(P)
+        ]
+        for op in plan.schedule.sorted_sends():
+            (_tag, src, dst) = op.item
+            results[dst][src] = matrix[src][dst]
+        ordered = [[results[p][q] for q in range(P)] for p in range(P)]
+        return ordered, plan.cycles
+
+    # -- reductions ----------------------------------------------------------
+
+    def reduce(
+        self,
+        values: Sequence[Any],
+        op: Callable[[Any, Any], Any] = lambda a, b: a + b,
+        root: int = 0,
+    ) -> tuple[Any, int]:
+        if len(values) != self.params.P:
+            raise ValueError(f"reduce needs P={self.params.P} values")
+        plan = self.comm.reduce(root)
+        partial: list[Any] = list(values)
+        for send in plan.schedule.sorted_sends():
+            partial[send.dst] = op(partial[send.dst], partial[send.src])
+        return partial[root], plan.cycles
+
+    def allreduce(
+        self,
+        values: Sequence[Any],
+        op: Callable[[Any, Any], Any] = lambda a, b: a + b,
+    ) -> tuple[list[Any], int]:
+        P = self.params.P
+        if len(values) != P:
+            raise ValueError(f"allreduce needs P={P} values")
+        plan = self.comm.allreduce()
+        if plan.meta.get("algorithm") == "combining":
+            # replay the combining algorithm on real data: each message
+            # carries the sender's running value at send time
+            pending: dict[int, list[tuple[int, Any]]] = {}
+            current = list(values)
+            sends = plan.schedule.sorted_sends()
+            by_time: dict[int, list] = {}
+            for s in sends:
+                by_time.setdefault(s.time, []).append(s)
+            T = plan.cycles
+            for step in range(T + 1):
+                for dst, payload in pending.pop(step, []):
+                    current[dst] = op(current[dst], payload)
+                for s in by_time.get(step, ()):
+                    pending.setdefault(step + self.params.L, []).append(
+                        (s.dst, current[s.src])
+                    )
+            return current, plan.cycles
+        total, _ = self.reduce(values, op, root=0)
+        results, _ = self.bcast(total, root=0)
+        return results, plan.cycles

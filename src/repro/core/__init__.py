@@ -1,0 +1,1 @@
+"""Core algorithms: the paper's contributions (Sections 2-5)."""

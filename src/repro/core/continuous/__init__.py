@@ -1,0 +1,1 @@
+"""Continuous broadcast (Sections 3.1-3.3): block-cyclic schedules."""

@@ -1,0 +1,153 @@
+"""General word-assignment solver for arbitrary per-item trees.
+
+This generalizes the block-cyclic machinery of Section 3.2 beyond the
+unique optimal tree: given *any* per-item broadcast tree (children at
+consecutive delays starting ``d + L``), one block per internal node
+(size = out-degree), words over leaf *delays*, legality via the offset
+collision rule plus send non-interference.  Used by
+
+* the ``L = 2`` constructions of Theorem 3.5
+  (:mod:`repro.core.continuous.l2`),
+* the general single-sending k-item scheduler of Theorem 3.6
+  (:mod:`repro.core.kitem.single_sending`), which searches pruned trees
+  with completion up to ``B(P-1) + L - 1``.
+
+The DFS is exhaustive unless a ``budget`` is given; with a budget it may
+give up early (returning ``None``) so callers can move to the next
+candidate tree.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.continuous.schedule import GBlock, GeneralAssignment
+from repro.core.continuous.words import is_legal_general_pattern
+from repro.core.tree import BroadcastTree
+
+__all__ = ["solve_general_words"]
+
+
+def solve_general_words(
+    tree: BroadcastTree,
+    L: int,
+    budget: int | None = None,
+) -> GeneralAssignment | None:
+    """Solve the word-assignment problem for an arbitrary per-item tree.
+
+    One block per internal node (size = out-degree); words are tuples of
+    leaf delays; each block's cyclic pattern must pass the generalized
+    legality check (offset correctness + send non-interference).  Exactly
+    one leaf letter is left for the receive-only processor.
+
+    ``budget`` bounds the number of DFS expansions; ``None`` means
+    exhaustive search (so ``None`` results are proofs of infeasibility).
+    """
+    T = tree.completion_time
+    specs: list[tuple[int, int]] = [
+        (node.delay, node.out_degree) for node in tree.internal_nodes()
+    ]
+    specs.sort(key=lambda s: (-s[1], s[0]))
+    census: Counter = Counter(n.delay for n in tree.leaves())
+    leaf_delays = sorted(census)
+    spent = [0]
+
+    def words_for(spec: tuple[int, int], remaining: Counter) -> list[tuple[int, ...]]:
+        upper_delay, size = spec
+        results: list[tuple[int, ...]] = []
+
+        n = size
+        offs: list[int] = [T - upper_delay]  # phase-0 uppercase offset
+
+        def new_entry_ok(m_new: int) -> bool:
+            """Incremental collision check for the next phase's offset.
+
+            Only pairs involving the new entry can newly collide, so this
+            is O(prefix length) rather than O(length^2).
+            """
+            p = len(offs)
+            for j, m in enumerate(offs):
+                diff = m_new - m
+                if diff >= 1 and (j - p) % n == diff % n:
+                    return False
+                diff = m - m_new
+                if diff >= 1 and (p - j) % n == diff % n:
+                    return False
+            return True
+
+        def extend(prefix: list[int]) -> None:
+            if len(prefix) == size - 1:
+                entries = [(T - upper_delay, size)] + [(T - d, 0) for d in prefix]
+                if is_legal_general_pattern(entries):
+                    results.append(tuple(prefix))
+                return
+            for d in leaf_delays:
+                if remaining[d] <= 0:
+                    continue
+                if budget is not None:
+                    # each letter probe costs O(prefix) in new_entry_ok, so
+                    # the budget charges per probe, not per tree node
+                    spent[0] += 1
+                    if spent[0] > budget:
+                        return
+                if new_entry_ok(T - d):
+                    prefix.append(d)
+                    offs.append(T - d)
+                    remaining[d] -= 1
+                    extend(prefix)
+                    remaining[d] += 1
+                    offs.pop()
+                    prefix.pop()
+
+        extend([])
+        return results
+
+    failed: set[tuple[int, tuple[int, ...]]] = set()
+
+    def state_key(index: int, remaining: Counter) -> tuple[int, tuple[int, ...]]:
+        return (index, tuple(remaining[d] for d in leaf_delays))
+
+    chosen: list[tuple[int, ...]] = []
+
+    def dfs(index: int, remaining: Counter) -> bool:
+        if index == len(specs):
+            return sum(remaining.values()) == 1
+        if budget is not None:
+            spent[0] += 1
+            if spent[0] > budget:
+                return False
+        state = state_key(index, remaining)
+        if state in failed:
+            return False
+        prev = (
+            chosen[index - 1]
+            if index > 0 and specs[index - 1] == specs[index]
+            else None
+        )
+        for word in words_for(specs[index], remaining):
+            if prev is not None and word > prev:
+                continue  # symmetry breaking among identical blocks
+            for d in word:
+                remaining[d] -= 1
+            chosen.append(word)
+            if dfs(index + 1, remaining):
+                return True
+            chosen.pop()
+            for d in word:
+                remaining[d] += 1
+        failed.add(state)
+        return False
+
+    if not dfs(0, census):
+        return None
+    # on success the dfs leaves `census` holding exactly the leftover leaf
+    (receive_only,) = list(census.elements())
+    blocks = [
+        GBlock(upper_delay=ud, size=sz, word=w)
+        for (ud, sz), w in zip(specs, chosen)
+    ]
+    assignment = GeneralAssignment(
+        tree=tree, L=L, blocks=blocks, receive_only=(receive_only,)
+    )
+    assignment.validate()
+    return assignment

@@ -1,0 +1,150 @@
+"""Relative addressing for continuous broadcast (Section 3.2).
+
+In the continuous broadcast problem a source emits item ``i`` at step ``i``
+(``g = 1``); the recipient ``P_i`` starts an optimal ``(P-1)``-way broadcast
+at step ``L + i``.  A node with delay ``d`` in item ``i``'s tree is a
+reception at step ``tau = L + i + d``.
+
+The paper's *relative addressing* names receptions by their **offset**
+``m = t - d``: at step ``tau``, letter ``a`` (offset 0) is the item whose
+broadcast terminates at ``tau``, ``b`` (offset 1) the one terminating at
+``tau + 1``, and so on.  Lowercase letters are leaf receptions with offsets
+``0 .. L-1``; an internal node with ``r`` children is the uppercase letter
+``R_r`` with offset ``r + L - 1``.
+
+Two receptions by one processor at steps ``tau1 < tau2`` with offsets
+``m1, m2`` are *the same item* iff ``m1 - m2 == tau2 - tau1`` — the
+correctness criterion every reception pattern must avoid.
+
+This module computes the per-step reception multiset (the ``S`` of the
+paper) and the problem instance ``I(t)`` — block sizes plus letter census —
+from the unique optimal tree ``T_{P-1}`` with ``P - 1 = P(t)``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.tree import BroadcastTree, tree_for_time
+from repro.params import postal
+
+__all__ = [
+    "offset_of_delay",
+    "delay_of_offset",
+    "uppercase_offset",
+    "letter_name",
+    "StepMultiset",
+    "Instance",
+    "instance_for",
+    "step_multiset",
+]
+
+
+def offset_of_delay(delay: int, t: int) -> int:
+    """Relative-addressing offset ``m = t - d`` of a node with delay ``d``."""
+    return t - delay
+
+
+def delay_of_offset(offset: int, t: int) -> int:
+    return t - offset
+
+
+def uppercase_offset(r: int, L: int) -> int:
+    """Offset of the uppercase letter ``R_r``: ``r + L - 1``.
+
+    An internal node with ``r`` children sits at delay ``d = t - L - r + 1``
+    in the optimal ``t``-step tree, hence offset ``t - d = r + L - 1``.
+    """
+    return r + L - 1
+
+
+def letter_name(offset: int, L: int) -> str:
+    """Human-readable name: lowercase ``a..`` for leaf offsets, ``R<r>`` for
+    uppercase offsets (mirrors the paper's ``H5``/``E2``/``D1`` notation)."""
+    if 0 <= offset < L:
+        return chr(ord("a") + offset)
+    r = offset - L + 1
+    return chr(ord("A") + (offset % 26)) + str(r)
+
+
+@dataclass(frozen=True)
+class StepMultiset:
+    """The multiset ``S`` of receptions occurring at every steady-state step.
+
+    ``leaves[m]`` counts lowercase receptions with offset ``m``;
+    ``internals[r]`` counts uppercase receptions ``R_r``.
+    """
+
+    L: int
+    t: int
+    leaves: Counter
+    internals: Counter
+
+    @property
+    def total(self) -> int:
+        return sum(self.leaves.values()) + sum(self.internals.values())
+
+    def letters(self) -> list[str]:
+        """Expanded letter list, e.g. ``['a','a','a','b','b','c','D1','E2','H5']``."""
+        out: list[str] = []
+        for m in sorted(self.leaves):
+            out.extend([letter_name(m, self.L)] * self.leaves[m])
+        for r in sorted(self.internals):
+            out.extend([letter_name(uppercase_offset(r, self.L), self.L)] * self.internals[r])
+        return out
+
+
+@dataclass(frozen=True)
+class Instance:
+    """The problem instance ``I(t)`` of Section 3.3.
+
+    ``block_sizes`` maps block size ``r`` (one block per internal node with
+    ``r`` children) to its multiplicity; ``letter_census`` maps lowercase
+    offset ``m`` to the number of copies available per step.  A solution
+    assigns a legal word of length ``r - 1`` to every block and one letter
+    to the receive-only processor, consuming the census exactly.
+    """
+
+    L: int
+    t: int
+    block_sizes: Counter
+    letter_census: Counter
+
+    @property
+    def P_minus_1(self) -> int:
+        """Number of non-source processors: blocks' sizes plus receive-only."""
+        return sum(r * c for r, c in self.block_sizes.items()) + 1
+
+    def word_budget(self) -> int:
+        """Total lowercase letters to be consumed by words + receive-only."""
+        return sum((r - 1) * c for r, c in self.block_sizes.items()) + 1
+
+    def consistent(self) -> bool:
+        return self.word_budget() == sum(self.letter_census.values())
+
+
+def step_multiset(t: int, L: int, tree: BroadcastTree | None = None) -> StepMultiset:
+    """Compute ``S`` for the optimal ``t``-step tree with latency ``L``."""
+    if tree is None:
+        tree = tree_for_time(t, postal(P=1, L=L))
+    leaves: Counter = Counter()
+    internals: Counter = Counter()
+    for node in tree.nodes:
+        if node.is_leaf:
+            leaves[offset_of_delay(node.delay, t)] += 1
+        else:
+            internals[node.out_degree] += 1
+    return StepMultiset(L=L, t=t, leaves=leaves, internals=internals)
+
+
+def instance_for(t: int, L: int) -> Instance:
+    """Build ``I(t)`` from the unique optimal tree on ``P(t)`` nodes."""
+    s = step_multiset(t, L)
+    inst = Instance(L=L, t=t, block_sizes=s.internals, letter_census=s.leaves)
+    if not inst.consistent():
+        raise AssertionError(
+            f"I({t}) inconsistent: budget {inst.word_budget()} != "
+            f"census {sum(inst.letter_census.values())}"
+        )
+    return inst

@@ -1,0 +1,1 @@
+"""k-item broadcast (Section 3): bounds, blocks, schedules."""

@@ -1,0 +1,64 @@
+"""Bounds and structure for k-item broadcast (Theorems 3.1, 3.2, 3.6).
+
+All in the postal model (``g = 1``, ``o = 0``) in which the paper analyses
+the problem.  ``B`` denotes ``B(P-1)``, the optimal single-item broadcast
+time among the ``P - 1`` non-source processors, and ``k*`` the endgame
+size (both from :mod:`repro.core.fib`).
+
+* **General lower bound** (Thm 3.1): ``B + L + (k-1) - k*``.
+* **Single-sending lower bound**: ``B + L + k - 1``.
+* **Upper bound** (Thm 3.6): a single-sending schedule always exists with
+  time ``B + 2L + k - 2`` — within ``L-1`` of the single-sending bound.
+* **Continuous-based** (Cor 3.1): when ``P - 1 = P(t)`` and the
+  block-cyclic machinery solves ``I(t)``, time ``L + B + k - 1`` exactly.
+* **Structure** (Thm 3.2): any bound-meeting schedule sends distinct items
+  in the first ``k - k*`` steps (continuous phase), then an endgame.
+"""
+
+from __future__ import annotations
+
+from repro.core.fib import (
+    broadcast_time_postal,
+    k_star,
+    kitem_lower_bound,
+    single_sending_lower_bound,
+)
+
+__all__ = [
+    "kitem_lower_bound",
+    "single_sending_lower_bound",
+    "kitem_upper_bound",
+    "continuous_based_time",
+    "continuous_phase_length",
+    "endgame_length",
+    "k_star",
+]
+
+
+def kitem_upper_bound(P: int, L: int, k: int) -> int:
+    """Theorem 3.6: ``B(P-1) + 2L + k - 2`` steps always suffice."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if P < 2:
+        return 0
+    return broadcast_time_postal(P - 1, L) + 2 * L + k - 2
+
+
+def continuous_based_time(P: int, L: int, k: int) -> int:
+    """Corollary 3.1: ``L + B(P-1) + k - 1`` via optimal continuous
+    broadcast (requires ``P - 1 = P(t)`` and a solvable ``I(t)``)."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if P < 2:
+        return 0
+    return L + broadcast_time_postal(P - 1, L) + k - 1
+
+
+def continuous_phase_length(P: int, L: int, k: int) -> int:
+    """Length ``k - k*`` of the continuous phase (Theorem 3.2)."""
+    return max(0, k - min(k_star(P, L), k))
+
+
+def endgame_length(P: int, L: int) -> int:
+    """Duration ``B(P-1)`` of the endgame (Theorem 3.2 discussion)."""
+    return broadcast_time_postal(P - 1, L)

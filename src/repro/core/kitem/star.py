@@ -1,0 +1,124 @@
+"""Star-tree k-item broadcast for the large-latency regime.
+
+When ``P - 2 <= B(P-1)`` (large ``L`` relative to ``P``), the per-item
+tree can simply be a *star*: the item's root relays it directly to every
+other processor on consecutive steps.  The star's completion
+``L + P - 3`` then fits within Theorem 3.6's slack
+``B(P-1) + L - 1``, and — unlike deep trees — its word-assignment
+problem has a *closed-form* solution via complete mappings of ``Z_n``:
+
+With ``n = P - 2`` (the root block's size), phase ``j`` of the cyclic
+pattern must carry a distinct leaf offset ``x(j) ∈ {0..n-1}`` such that
+
+* ``j + x(j)`` are pairwise distinct mod ``n``  (the correctness rule for
+  offsets below ``n``), and
+* ``x(j) != (L - 1 - j) mod n``                 (no collision with the
+  uppercase duty at phase 0).
+
+For odd ``n`` the affine map ``x(j) = (j + L - 1) mod n`` satisfies both
+(the one violating phase is 0, which holds the uppercase anyway) —
+Hall-Paige in action: ``j -> 2j`` is a bijection iff ``n`` is odd.  For
+even ``n`` no affine map works (indeed no *complete* mapping of ``Z_n``
+exists), but we only need ``n - 1`` of the ``n`` letters, and a small
+backtracking search finds a near-complete mapping quickly.
+"""
+
+from __future__ import annotations
+
+from repro.core.continuous.schedule import GBlock, GeneralAssignment
+from repro.core.fib import broadcast_time_postal
+from repro.core.tree import BroadcastTree, TreeNode
+from repro.params import postal
+
+__all__ = ["star_tree", "star_assignment", "star_fits"]
+
+
+def star_tree(P_minus_1: int, L: int) -> BroadcastTree:
+    """The star: a root with ``P - 2`` leaf children at ``L .. L+P-3``."""
+    if P_minus_1 < 2:
+        raise ValueError("a star needs at least 2 processors")
+    nodes = [TreeNode(index=0, delay=0, parent=None)]
+    for j in range(P_minus_1 - 1):
+        nodes.append(TreeNode(index=j + 1, delay=L + j, parent=0))
+        nodes[0].children.append(j + 1)
+    return BroadcastTree(postal(P=P_minus_1, L=L), nodes)
+
+
+def star_fits(P: int, L: int) -> bool:
+    """Does the star's completion fit Theorem 3.6's slack?
+
+    ``L + P - 3 <= B(P-1) + L - 1``, i.e. ``P - 2 <= B(P-1)``.
+    """
+    if P < 3:
+        return False
+    return P - 2 <= broadcast_time_postal(P - 1, L)
+
+
+def _near_complete_mapping(n: int, L: int) -> list[int] | None:
+    """Find ``x(1..n-1)``: distinct letters with distinct sums mod ``n``
+    avoiding the uppercase-collision diagonal ``x(j) = (L-1-j) mod n``."""
+    if n == 1:
+        return []
+    if n % 2 == 1:
+        # affine closed form; violating phase is 0 (the uppercase)
+        return [(j + L - 1) % n for j in range(1, n)]
+    # Even n: no complete mapping of Z_n exists (Hall-Paige), but a
+    # size-(n-1) partial transversal of Z_n's Cayley table does, with an
+    # explicit two-progression construction:
+    #
+    #   x0(j) = j - 1  for 1 <= j <= n/2     (odd sums 1, 3, ..., n-1)
+    #   x0(j) = j      for n/2 < j <= n-1    (even sums 2, 4, ..., n-2)
+    #
+    # Columns cover Z_n minus n/2; sums cover Z_n minus 0.  The diagonal
+    # constraint is then dodged by a cyclic shift ``x = x0 + c``: each
+    # phase forbids exactly one value of ``c``, so with n-1 phases and n
+    # shifts a clean ``c`` exists by pigeonhole.
+    half = n // 2
+    x0 = [0] * n
+    for j in range(1, half + 1):
+        x0[j] = j - 1
+    for j in range(half + 1, n):
+        x0[j] = j
+    forbidden_shifts = {
+        ((L - 1 - j) - x0[j]) % n for j in range(1, n)
+    }
+    shift = next(c for c in range(n) if c not in forbidden_shifts)
+    return [(x0[j] + shift) % n for j in range(1, n)]
+
+
+def star_assignment(P: int, L: int) -> GeneralAssignment | None:
+    """Closed-form star-tree assignment for ``(P, L)``.
+
+    Returns a validated assignment whose expansion broadcasts ``k`` items
+    in ``L + (L + P - 3) + k - 1`` steps, or ``None`` when ``P < 3`` or
+    the even-``n`` search fails (not observed for ``n <= 200``).
+    """
+    if P < 3:
+        return None
+    n = P - 2
+    tree = star_tree(P - 1, L)
+    T = tree.completion_time  # L + n - 1
+    if n == 0:
+        return None
+    mapping = _near_complete_mapping(n, L)
+    if mapping is None:
+        return None
+    if n == 1:
+        word: tuple[int, ...] = ()
+        dropped = 0  # the single leaf letter goes to the receive-only proc
+    else:
+        word = tuple(T - m for m in mapping)  # offsets -> leaf delays
+        dropped = next(m for m in range(n) if m not in set(mapping))
+    assignment = GeneralAssignment(
+        tree=tree,
+        L=L,
+        blocks=[GBlock(upper_delay=0, size=n, word=word)] if n >= 1 else [],
+        receive_only=(T - dropped,),
+    )
+    assignment.validate()
+    from repro.core.continuous.words import is_legal_general_pattern
+
+    entries = [(T - 0, n)] + [(T - d, 0) for d in word]
+    if not is_legal_general_pattern(entries):
+        raise AssertionError("star construction produced an illegal pattern")
+    return assignment

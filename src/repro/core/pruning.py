@@ -1,0 +1,141 @@
+"""Pruned broadcast trees.
+
+The optimal tree on ``P(t)`` nodes is unique, but many constructions in
+the paper need trees on *other* node counts or with extra slack in the
+completion time: the ``L = 2`` continuous schedules of Theorem 3.5 and
+the general single-sending k-item schedules of Theorem 3.6 both prune a
+``T``-step optimal tree down to a target size.
+
+A pruning repeatedly removes some node's *last* child when that child is
+a leaf — this keeps every node's surviving children at consecutive delays
+starting ``d + L``, the property the block machinery relies on (an
+``r``-degree node sends on ``r`` consecutive steps).
+
+:func:`candidate_trees` yields a small family of differently-shaped
+prunings (plus the greedy optimal tree when it fits) for the word solver
+to try.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterator
+
+from repro.core.tree import BroadcastTree, TreeNode, optimal_tree, tree_for_time
+from repro.params import LogPParams, postal
+
+__all__ = ["prune_to_size", "candidate_trees"]
+
+
+def _clone_nodes(tree: BroadcastTree) -> list[TreeNode]:
+    return [
+        TreeNode(
+            index=n.index, delay=n.delay, parent=n.parent, children=list(n.children)
+        )
+        for n in tree.nodes
+    ]
+
+
+def _rebuild(nodes: list[TreeNode], removed: set[int], params: LogPParams) -> BroadcastTree:
+    survivors = [n for n in nodes if n.index not in removed]
+    remap = {n.index: i for i, n in enumerate(survivors)}
+    for i, node in enumerate(survivors):
+        node.index = i
+        node.parent = None if node.parent is None else remap[node.parent]
+        node.children = [remap[c] for c in node.children]
+    return BroadcastTree(params.with_processors(len(survivors)), survivors)
+
+
+def prune_to_size(
+    T: int,
+    L: int,
+    size: int,
+    chooser: Callable[[list[tuple[int, int]]], tuple[int, int]],
+) -> BroadcastTree | None:
+    """Prune the full ``T``-step tree (postal latency ``L``) to ``size`` nodes.
+
+    ``chooser`` picks, from the list of currently removable
+    ``(parent_index, leaf_index)`` pairs (last children that are leaves),
+    the next removal.  Returns ``None`` if the full tree is already
+    smaller than ``size``.
+    """
+    full = tree_for_time(T, postal(P=1, L=L))
+    if len(full) < size:
+        return None
+    nodes = _clone_nodes(full)
+    removed: set[int] = set()
+    degree = {n.index: len(n.children) for n in nodes}
+
+    def removable() -> list[tuple[int, int]]:
+        out = []
+        for n in nodes:
+            if n.index in removed or not n.children:
+                continue
+            last = n.children[-1]
+            if degree[last] == 0:
+                out.append((n.index, last))
+        return out
+
+    to_remove = len(full) - size
+    for _ in range(to_remove):
+        options = removable()
+        if not options:
+            return None
+        parent, leaf = chooser(options)
+        nodes[parent].children.pop()
+        degree[parent] -= 1
+        removed.add(leaf)
+    return _rebuild(nodes, removed, postal(P=size, L=L))
+
+
+def candidate_trees(
+    size: int, L: int, T: int, seeds: int = 4
+) -> Iterator[BroadcastTree]:
+    """Yield candidate per-item trees with ``size`` nodes, completion <= ``T``.
+
+    Candidates, in order: the greedy optimal tree (when its completion is
+    exactly within ``T``), then deterministic prunings of the full
+    ``T``-step tree (latest-leaf-first, balance-degrees,
+    earliest-removable-first), then ``seeds`` seeded random prunings.
+    Duplicate shapes are not filtered (the word solver is cheap to retry).
+    """
+    greedy = optimal_tree(postal(P=size, L=L))
+    if greedy.completion_time <= T:
+        yield greedy
+
+    full = tree_for_time(T, postal(P=1, L=L))
+    if len(full) < size:
+        return
+    index = {n.index: n for n in full.nodes}
+
+    def latest(options: list[tuple[int, int]]) -> tuple[int, int]:
+        return max(options, key=lambda pr: (index[pr[1]].delay, pr[1]))
+
+    def earliest(options: list[tuple[int, int]]) -> tuple[int, int]:
+        return min(options, key=lambda pr: (index[pr[1]].delay, pr[1]))
+
+    # `index` holds the full tree, so choosers may only use static node
+    # delays; live degrees are re-derived from the options themselves.
+    def balance_live(options: list[tuple[int, int]]) -> tuple[int, int]:
+        from collections import Counter
+
+        parent_counts = Counter(p for p, _leaf in options)
+        return max(
+            options,
+            key=lambda pr: (parent_counts[pr[0]], index[pr[1]].delay),
+        )
+
+    for chooser in (latest, balance_live, earliest):
+        tree = prune_to_size(T, L, size, chooser)
+        if tree is not None:
+            yield tree
+
+    for seed in range(seeds):
+        rng = random.Random((size, L, T, seed).__hash__())
+
+        def pick(options: list[tuple[int, int]]) -> tuple[int, int]:
+            return rng.choice(options)
+
+        tree = prune_to_size(T, L, size, pick)
+        if tree is not None:
+            yield tree

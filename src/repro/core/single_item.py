@@ -1,0 +1,72 @@
+"""Single-item broadcast (Section 2).
+
+Builds the optimal schedule of Theorem 2.1 from the universal broadcast
+tree: processor ``i`` is assigned to tree node ``i`` (the root / source is
+processor 0), and a node with delay ``d`` and children at delays
+``d + j*g + L + 2o`` starts its ``j``-th send at cycle ``d + j*g``.
+
+The schedule's running time equals ``B(P; L, o, g)`` by construction, and
+:func:`repro.sim.machine.replay` verifies it is a legal LogP execution.
+"""
+
+from __future__ import annotations
+
+from repro.core.fib import broadcast_time
+from repro.core.tree import BroadcastTree, optimal_tree
+from repro.params import LogPParams
+from repro.schedule.ops import Schedule
+
+__all__ = [
+    "schedule_from_tree",
+    "optimal_broadcast_schedule",
+    "optimal_broadcast_time",
+]
+
+
+def schedule_from_tree(
+    tree: BroadcastTree,
+    item: object = 0,
+    start_time: int = 0,
+    proc_map: dict[int, int] | None = None,
+) -> Schedule:
+    """Expand a broadcast tree into an explicit schedule.
+
+    Parameters
+    ----------
+    tree:
+        Any :class:`BroadcastTree` (optimal or not — baselines reuse this).
+    item:
+        The datum's identity in the emitted ops.
+    start_time:
+        Cycle at which the root first holds the item (delays shift by it).
+    proc_map:
+        Optional map from tree-node index to physical processor id;
+        defaults to the identity.
+    """
+    params = tree.params
+    g = params.g
+    proc = (lambda i: i) if proc_map is None else (lambda i: proc_map[i])
+    schedule = Schedule(
+        params=params,
+        initial={proc(0): {item}},
+        source_items={item: start_time},
+    )
+    for node in tree.nodes:
+        for j, child in enumerate(node.children):
+            schedule.add(
+                time=start_time + node.delay + j * g,
+                src=proc(node.index),
+                dst=proc(child),
+                item=item,
+            )
+    return schedule
+
+
+def optimal_broadcast_schedule(params: LogPParams) -> Schedule:
+    """The optimal single-item broadcast schedule ``B(P)`` (Theorem 2.1)."""
+    return schedule_from_tree(optimal_tree(params))
+
+
+def optimal_broadcast_time(params: LogPParams) -> int:
+    """``B(P; L, o, g)``, the single-item broadcast complexity."""
+    return broadcast_time(params.P, params)

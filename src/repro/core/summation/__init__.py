@@ -1,0 +1,1 @@
+"""Optimal summation (Section 5)."""

@@ -1,0 +1,1 @@
+"""Experiment harness: figure regeneration and parameter sweeps."""

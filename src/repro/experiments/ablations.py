@@ -1,0 +1,171 @@
+"""Ablations of the library's own design decisions.
+
+DESIGN.md calls out three choices worth isolating:
+
+1. **Candidate-tree pruning strategy** (Theorem 3.6 search): which
+   heuristic — greedy optimal tree, latest-leaf pruning, balanced
+   pruning, earliest-leaf pruning, seeded random — actually produces the
+   per-item tree the word solver accepts, and how often each wins.
+2. **Buffered-model destination choice** (Theorem 3.8): greedy
+   duty-avoiding assignment vs naive round-robin — measured by buffer
+   peak and completion.
+3. **Communication-tree shape for summation** (Section 5): the capacity
+   formula ``n = Σ(t - d_i) - (o+1)(P-1) + P`` rewards minimizing
+   ``Σ d_i``; plugging baseline tree shapes into the same formula shows
+   how many operands each shape forfeits.
+
+Run standalone::
+
+    python -m repro.experiments.ablations
+"""
+
+from __future__ import annotations
+
+from repro.baselines.trees import baseline_broadcast
+from repro.core.continuous.general import solve_general_words
+from repro.core.fib import broadcast_time_postal
+from repro.core.kitem.buffered import buffered_schedule
+from repro.core.pruning import candidate_trees
+from repro.params import LogPParams
+from repro.schedule.analysis import broadcast_delay_per_proc
+
+__all__ = [
+    "pruning_strategy_ablation",
+    "buffered_destination_ablation",
+    "summation_tree_shape_ablation",
+]
+
+_STRATEGY_NAMES = [
+    "greedy-optimal",
+    "latest-leaf",
+    "balanced",
+    "earliest-leaf",
+    "random-0",
+    "random-1",
+    "random-2",
+    "random-3",
+]
+
+
+def pruning_strategy_ablation(
+    cases=((6, 2), (11, 3), (20, 2), (12, 4), (15, 5), (26, 3))
+) -> list[dict]:
+    """For each (P, L): which candidate tree first solves the word problem.
+
+    ``winner_index`` is the position in the candidate stream (strategy
+    order as in :func:`repro.core.pruning.candidate_trees`); ``solved``
+    lists, per candidate, whether the general solver accepted it.
+    """
+    rows = []
+    for P, L in cases:
+        t = broadcast_time_postal(P - 1, L)
+        found = None
+        for T in range(t, t + L):
+            outcomes = []
+            for index, tree in enumerate(candidate_trees(P - 1, L, T)):
+                ok = solve_general_words(tree, L, budget=100_000) is not None
+                outcomes.append(ok)
+                if ok and found is None:
+                    found = (T, index)
+            if found is not None:
+                rows.append(
+                    {
+                        "P": P,
+                        "L": L,
+                        "B": t,
+                        "T_used": found[0],
+                        "winner_index": found[1],
+                        "winner": _STRATEGY_NAMES[found[1]]
+                        if found[1] < len(_STRATEGY_NAMES)
+                        else f"candidate-{found[1]}",
+                        "candidates_tried": len(outcomes),
+                    }
+                )
+                break
+        else:
+            rows.append(
+                {"P": P, "L": L, "B": t, "T_used": None, "winner_index": None,
+                 "winner": "NONE", "candidates_tried": 0}
+            )
+    return rows
+
+
+def buffered_destination_ablation(
+    cases=((8, 6, 3), (14, 8, 3), (10, 8, 4), (12, 9, 5))
+) -> list[dict]:
+    """Greedy vs round-robin leaf-destination choice in the buffered model."""
+    rows = []
+    for k, t, L in cases:
+        greedy = buffered_schedule(k, t, L, dest_strategy="greedy")
+        naive = buffered_schedule(k, t, L, dest_strategy="round_robin")
+        rows.append(
+            {
+                "k": k,
+                "t": t,
+                "L": L,
+                "bound": greedy.bound,
+                "greedy_completion": greedy.completion,
+                "greedy_buffer_peak": greedy.buffer_peak,
+                "round_robin_completion": naive.completion,
+                "round_robin_buffer_peak": naive.buffer_peak,
+            }
+        )
+    return rows
+
+
+def summation_tree_shape_ablation(
+    machine: LogPParams | None = None, ts: tuple[int, ...] = (28, 42)
+) -> list[dict]:
+    """Operand capacity under different communication-tree shapes.
+
+    The capacity of any legal shape is ``Σ max(0, S_i - (o+1)k_i + 1)``
+    with ``S_i = t - d_i``; the optimal (universal) tree minimizes
+    ``Σ d_i`` and so maximizes capacity.  A shape is infeasible at ``t``
+    when some processor cannot even fit its receive slots before its send.
+    """
+    if machine is None:
+        machine = LogPParams(P=8, L=5, o=2, g=4)
+    shifted = LogPParams(P=machine.P, L=machine.L + 1, o=machine.o, g=machine.g)
+    rows = []
+    for name in ("optimal", "binomial", "binary", "flat", "chain"):
+        if name == "optimal":
+            from repro.core.tree import optimal_tree
+
+            tree = optimal_tree(shifted)
+            delays = {n.index: n.delay for n in tree.nodes}
+            receive_counts = {n.index: n.out_degree for n in tree.nodes}
+        else:
+            schedule = baseline_broadcast(name, shifted)
+            delays = broadcast_delay_per_proc(schedule)
+            receive_counts = {p: 0 for p in delays}
+            for op in schedule.sends:
+                receive_counts[op.src] = receive_counts.get(op.src, 0) + 1
+        row: dict = {"tree": name, "sum_delays": sum(delays.values())}
+        for t in ts:
+            capacity = 0
+            feasible = True
+            for p, d in delays.items():
+                budget = (t - d) - (machine.o + 1) * receive_counts[p]
+                if budget < 0:
+                    feasible = False
+                    break
+                capacity += budget + 1
+            row[f"capacity@t={t}"] = capacity if feasible else "infeasible"
+        rows.append(row)
+    return rows
+
+
+def _print(rows: list[dict], title: str) -> None:  # pragma: no cover
+    print(f"\n== {title} ==")
+    if not rows:
+        return
+    keys = list(rows[0])
+    print("  ".join(f"{k:>22}" for k in keys))
+    for row in rows:
+        print("  ".join(f"{str(row[k]):>22}" for k in keys))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    _print(pruning_strategy_ablation(), "candidate-tree strategy (Thm 3.6 search)")
+    _print(buffered_destination_ablation(), "buffered-model destination choice")
+    _print(summation_tree_shape_ablation(), "summation tree shape (Lem 5.1)")

@@ -1,0 +1,125 @@
+"""LogP parameter estimation from micro-benchmark measurements.
+
+The LogP methodology prescribes extracting ``(L, o, g)`` from two
+micro-benchmarks; this module implements both directions so an adopter
+can go from wall-clock measurements to a :class:`~repro.params.LogPParams`
+to feed the planners:
+
+* **ping-pong** — a round trip of single messages costs
+  ``2 (L + 2o)``; its half gives ``L + 2o``.
+* **message ramp (burst test)** — firing ``m`` back-to-back messages and
+  waiting for the last acknowledgment costs
+  ``(m - 1) g + (L + 2o) + (L + 2o)``-ish; the *slope* of time vs ``m``
+  is ``g``, separating the gap from the latency.
+* **overlap probe** — interleaving computation between sends isolates
+  ``o``: the sender is only busy ``o`` per message, so the largest
+  computation insertable without slowing the burst is ``g - o``.
+
+:func:`fit_logp` performs a least-squares fit (numpy) of the three
+parameters from synthetic or real measurement tables;
+:func:`simulate_measurements` produces the synthetic tables from a known
+machine (with optional noise) so the fit is testable end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.params import LogPParams
+
+__all__ = [
+    "Measurements",
+    "simulate_measurements",
+    "fit_logp",
+]
+
+
+@dataclass
+class Measurements:
+    """Micro-benchmark observations.
+
+    ``pingpong`` — round-trip times of single messages (one per trial);
+    ``burst_sizes`` / ``burst_times`` — burst test: time until the sender
+    may retire after injecting ``m`` messages (send start of the last
+    message plus its full delivery);
+    ``overlap_probe`` — computation grains ``c`` paired with the observed
+    per-message cost ``max(g, o + c)`` when ``c`` cycles of computation
+    are inserted between sends.
+    """
+
+    pingpong: np.ndarray
+    burst_sizes: np.ndarray
+    burst_times: np.ndarray
+    probe_grains: np.ndarray
+    probe_costs: np.ndarray
+
+
+def simulate_measurements(
+    machine: LogPParams,
+    trials: int = 32,
+    noise: float = 0.0,
+    seed: int = 0,
+    max_burst: int = 32,
+) -> Measurements:
+    """Generate the micro-benchmark tables a real machine would produce.
+
+    ``noise`` is the standard deviation of gaussian perturbation added to
+    every observation (cycles).
+    """
+    rng = np.random.default_rng(seed)
+
+    def jitter(shape) -> np.ndarray:
+        return rng.normal(0.0, noise, size=shape) if noise > 0 else np.zeros(shape)
+
+    rtt = 2 * (machine.L + 2 * machine.o)
+    pingpong = rtt + jitter(trials)
+
+    sizes = np.arange(1, max_burst + 1)
+    # m messages: last send starts at (m-1) g, delivered L + 2o later
+    burst = (sizes - 1) * machine.g + machine.L + 2 * machine.o
+    burst_times = burst + jitter(len(sizes))
+
+    grains = np.arange(0, 3 * machine.g + 1)
+    costs = np.maximum(machine.g, machine.o + grains) + jitter(len(grains))
+
+    return Measurements(
+        pingpong=pingpong,
+        burst_sizes=sizes,
+        burst_times=burst_times,
+        probe_grains=grains,
+        probe_costs=costs,
+    )
+
+
+def fit_logp(data: Measurements, P: int) -> LogPParams:
+    """Least-squares fit of ``(L, o, g)`` from the measurement tables.
+
+    * ``g`` = slope of the burst line (robust to the intercept);
+    * ``o`` = from the overlap probe: the per-message cost for large
+      grains follows ``o + c``, so ``o`` is the mean of ``cost - c`` on
+      the linear tail;
+    * ``L`` = ``pingpong/2 - 2o``.
+
+    Values are rounded to integers and clamped to the model's validity
+    ranges (``L >= 1``, ``0 <= o <= g``, ``g >= 1``).
+    """
+    sizes = np.asarray(data.burst_sizes, dtype=float)
+    times = np.asarray(data.burst_times, dtype=float)
+    slope, _intercept = np.polyfit(sizes, times, 1)
+    g = max(1, round(float(slope)))
+
+    grains = np.asarray(data.probe_grains, dtype=float)
+    costs = np.asarray(data.probe_costs, dtype=float)
+    tail = grains >= max(g, 1)  # beyond the plateau, cost = o + c
+    if tail.any():
+        o = round(float(np.mean(costs[tail] - grains[tail])))
+    else:
+        o = 0
+    o = min(max(o, 0), g)
+
+    half_rtt = float(np.mean(data.pingpong)) / 2.0
+    L = max(1, round(half_rtt - 2 * o))
+
+    return LogPParams(P=P, L=L, o=o, g=g)

@@ -1,0 +1,130 @@
+"""LogP machine parameters.
+
+The LogP model (Culler et al., PPoPP 1993) describes a distributed-memory
+machine by four parameters:
+
+``P``
+    the number of processor/memory pairs,
+``L``
+    the *latency*: an upper bound on the delay incurred by a message
+    travelling through the network,
+``o``
+    the *overhead*: the time a processor is busy while injecting or
+    extracting a single message,
+``g``
+    the *gap*: the minimum spacing between two consecutive sends (or two
+    consecutive receives) at the same processor.
+
+Times are integer processor cycles throughout this library.  Following the
+paper, execution is assumed synchronous and every message incurs the full
+latency ``L``: a message whose transmission *starts* at cycle ``s`` occupies
+the sender for cycles ``[s, s+o)``, arrives and occupies the receiver for
+cycles ``[s+o+L, s+o+L+o)``, and the payload is available to the receiver at
+cycle ``s + L + 2*o``.
+
+The *postal model* of Bar-Noy and Kipnis is the special case ``o = 0``,
+``g = 1``: a message sent at integer time ``s`` is available at ``s + L``,
+and a processor may send at most one message and receive at most one message
+per unit step.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["LogPParams", "postal"]
+
+
+@dataclass(frozen=True, slots=True)
+class LogPParams:
+    """An immutable bundle of the four LogP parameters.
+
+    Parameters
+    ----------
+    P:
+        Number of processors; must be >= 1.
+    L:
+        Network latency in cycles; must be >= 1.
+    o:
+        Per-message send/receive overhead in cycles; must be >= 0.
+    g:
+        Minimum gap between consecutive sends (and between consecutive
+        receives) at one processor; must be >= 1.
+
+    Examples
+    --------
+    >>> m = LogPParams(P=8, L=6, o=2, g=4)
+    >>> m.send_cost
+    10
+    >>> postal(P=10, L=3)
+    LogPParams(P=10, L=3, o=0, g=1)
+    """
+
+    P: int
+    L: int
+    o: int = 0
+    g: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("P", "L", "o", "g"):
+            value = getattr(self, name)
+            if not isinstance(value, int):
+                raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+        if self.P < 1:
+            raise ValueError(f"P must be >= 1, got {self.P}")
+        if self.L < 1:
+            raise ValueError(f"L must be >= 1, got {self.L}")
+        if self.o < 0:
+            raise ValueError(f"o must be >= 0, got {self.o}")
+        if self.g < 1:
+            raise ValueError(f"g must be >= 1, got {self.g}")
+        if self.o > self.g:
+            # the paper's universal-tree construction (children at
+            # d + i*g + L + 2o) paces sends by g alone, which is only
+            # meaningful when a send's overhead fits inside the gap; the
+            # LogP literature commonly assumes g >= o for the same reason
+            raise ValueError(
+                f"o must be <= g (got o={self.o}, g={self.g}); "
+                f"overhead-dominated machines are outside the paper's model"
+            )
+
+    @property
+    def send_cost(self) -> int:
+        """End-to-end cost ``L + 2o`` of one message between idle processors."""
+        return self.L + 2 * self.o
+
+    @property
+    def capacity(self) -> int:
+        """Network capacity ``ceil(L / g)``: the maximum number of messages
+        that may simultaneously be in transit from (or to) one processor."""
+        return math.ceil(self.L / self.g)
+
+    @property
+    def is_postal(self) -> bool:
+        """True when the parameters reduce to the postal model (``o=0, g=1``)."""
+        return self.o == 0 and self.g == 1
+
+    def to_postal(self) -> "LogPParams":
+        """Fold the overhead into the latency and normalize the gap.
+
+        The paper notes that for communication-only problems the overhead can
+        be absorbed into the latency (``L' = L + 2o``) and the gap normalized
+        to 1, yielding an equivalent postal-model machine.  Only valid when
+        ``g`` already equals 1 or when all events are spaced at multiples of
+        ``g`` (callers are expected to rescale time themselves otherwise).
+        """
+        return LogPParams(P=self.P, L=self.L + 2 * self.o, o=0, g=1)
+
+    def with_processors(self, P: int) -> "LogPParams":
+        """Return a copy of these parameters with a different processor count."""
+        return LogPParams(P=P, L=self.L, o=self.o, g=self.g)
+
+
+def postal(P: int, L: int) -> LogPParams:
+    """Construct postal-model parameters (``o = 0``, ``g = 1``).
+
+    The postal model of Bar-Noy and Kipnis is the sub-model in which the
+    paper analyses k-item and continuous broadcast.
+    """
+    return LogPParams(P=P, L=L, o=0, g=1)

@@ -1,0 +1,17 @@
+"""Schedule IR and analysis helpers."""
+
+from repro.schedule.analysis import (
+    availability,
+    broadcast_delay_per_proc,
+    completion_time,
+    item_completion_times,
+    item_delays,
+    max_delay,
+)
+from repro.schedule.ops import ComputeOp, Schedule, SendOp
+
+__all__ = [
+    "Schedule", "SendOp", "ComputeOp",
+    "availability", "completion_time", "item_completion_times",
+    "item_delays", "max_delay", "broadcast_delay_per_proc",
+]

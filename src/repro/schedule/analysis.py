@@ -1,0 +1,100 @@
+"""Analysis of schedules: availability, completion times, per-item delays.
+
+These helpers are *descriptive* — they compute when items become available
+under the IR's timing convention without judging legality.  Legality
+checking lives in :mod:`repro.sim.validate`.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.schedule.ops import Schedule, SendOp
+
+__all__ = [
+    "availability",
+    "completion_time",
+    "item_completion_times",
+    "item_delays",
+    "max_delay",
+    "broadcast_delay_per_proc",
+]
+
+Item = Hashable
+
+
+def availability(schedule: Schedule) -> dict[tuple[int, Item], int]:
+    """Map ``(proc, item) -> earliest cycle the item is available there``.
+
+    Initial placements are available at time 0 (or at the item's creation
+    time for source items); each send makes its item available at the
+    destination at ``time + L + 2o``.  If an item reaches a processor more
+    than once, the earliest arrival wins.
+    """
+    avail: dict[tuple[int, Item], int] = {}
+    for proc, items in schedule.initial.items():
+        for item in items:
+            created = schedule.item_creation_time(item)
+            key = (proc, item)
+            avail[key] = min(avail.get(key, created), created)
+    for op in schedule.sends:
+        arrival = op.arrival(schedule.params)
+        key = (op.dst, op.item)
+        if key not in avail or arrival < avail[key]:
+            avail[key] = arrival
+    return avail
+
+
+def completion_time(schedule: Schedule) -> int:
+    """Cycle at which the last payload lands (0 for an empty schedule)."""
+    if not schedule.sends:
+        return 0
+    return max(op.arrival(schedule.params) for op in schedule.sends)
+
+
+def item_completion_times(schedule: Schedule, procs: set[int] | None = None) -> dict[Item, int]:
+    """Map item -> cycle by which *every* processor in ``procs`` holds it.
+
+    ``procs`` defaults to every processor mentioned by the schedule.
+    Raises ``ValueError`` if some item never reaches some processor.
+    """
+    if procs is None:
+        procs = schedule.processors()
+    avail = availability(schedule)
+    out: dict[Item, int] = {}
+    for item in schedule.items():
+        worst = 0
+        for proc in procs:
+            when = avail.get((proc, item))
+            if when is None:
+                raise ValueError(f"item {item!r} never reaches processor {proc}")
+            worst = max(worst, when)
+        out[item] = worst
+    return out
+
+
+def item_delays(schedule: Schedule, procs: set[int] | None = None) -> dict[Item, int]:
+    """Map item -> its *delay*: completion time minus creation time.
+
+    This is the figure of merit of the continuous broadcast problem
+    (Section 3.1 of the paper).
+    """
+    completion = item_completion_times(schedule, procs)
+    return {
+        item: done - schedule.item_creation_time(item)
+        for item, done in completion.items()
+    }
+
+
+def max_delay(schedule: Schedule, procs: set[int] | None = None) -> int:
+    """The maximum per-item delay (the continuous-broadcast objective)."""
+    delays = item_delays(schedule, procs)
+    return max(delays.values()) if delays else 0
+
+
+def broadcast_delay_per_proc(schedule: Schedule, item: Item = 0) -> dict[int, int]:
+    """For a single-item broadcast: map proc -> time it first holds ``item``."""
+    avail = availability(schedule)
+    return {
+        proc: when for (proc, it), when in avail.items() if it == item
+    }

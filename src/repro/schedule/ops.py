@@ -1,0 +1,150 @@
+"""Schedule intermediate representation.
+
+All algorithms in this library — the paper's optimal constructions and the
+baselines alike — emit the same IR: a :class:`Schedule` holding a list of
+:class:`SendOp` records plus the machine parameters and the initial item
+placement.  The simulator (:mod:`repro.sim`) replays this IR, enforcing
+every LogP constraint, and the analysis helpers compute completion times
+and per-item delays from it.
+
+Timing convention (integer cycles):
+
+* a ``SendOp`` with start time ``s`` occupies the **sender** during
+  ``[s, s+o)``;
+* the message is in transit during ``[s+o, s+o+L)``;
+* it occupies the **receiver** during ``[s+o+L, s+o+L+o)``;
+* the payload is **available** at the receiver at ``s + L + 2o``.
+
+In the postal model (``o=0``) this degenerates to: sent at ``s``,
+available at ``s + L``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Iterator
+
+from repro.params import LogPParams
+
+__all__ = ["SendOp", "ComputeOp", "Schedule"]
+
+Item = Hashable
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class SendOp:
+    """A single point-to-point message.
+
+    Ordering is by ``(time, src, dst)`` so sorted schedules replay in
+    chronological order.
+    """
+
+    time: int
+    src: int
+    dst: int
+    item: Item = 0
+
+    def arrival(self, params: LogPParams) -> int:
+        """Cycle at which the payload becomes available at ``dst``."""
+        return self.time + params.L + 2 * params.o
+
+    def receive_start(self, params: LogPParams) -> int:
+        """Cycle at which the receive overhead begins at ``dst``."""
+        return self.time + params.o + params.L
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class ComputeOp:
+    """A unit-time local computation (used by summation schedules).
+
+    ``operands`` names the values combined and ``result`` the value
+    produced; the processor is busy during ``[time, time + duration)``.
+    """
+
+    time: int
+    proc: int
+    result: Item = 0
+    operands: tuple[Item, ...] = ()
+    duration: int = 1
+
+
+@dataclass
+class Schedule:
+    """A complete communication (and optionally computation) schedule.
+
+    Parameters
+    ----------
+    params:
+        The LogP machine this schedule targets.
+    sends:
+        All messages; need not be pre-sorted.
+    initial:
+        Map ``proc -> set of items`` available at time 0.  Defaults to the
+        single item ``0`` at processor 0 (the classic broadcast setup).
+    computes:
+        Optional local-computation ops (summation schedules).
+    source_items:
+        For multi-item broadcasts: map ``item -> time it is created`` at
+        the source.  Items default to being available at time 0.
+    """
+
+    params: LogPParams
+    sends: list[SendOp] = field(default_factory=list)
+    initial: dict[int, set[Item]] = field(default_factory=dict)
+    computes: list[ComputeOp] = field(default_factory=list)
+    source_items: dict[Item, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.initial:
+            self.initial = {0: {0}}
+
+    def add(self, time: int, src: int, dst: int, item: Item = 0) -> SendOp:
+        op = SendOp(time=time, src=src, dst=dst, item=item)
+        self.sends.append(op)
+        return op
+
+    def sorted_sends(self) -> list[SendOp]:
+        return sorted(self.sends)
+
+    def sends_by_proc(self) -> dict[int, list[SendOp]]:
+        """Map processor -> its outgoing sends in chronological order."""
+        out: dict[int, list[SendOp]] = {}
+        for op in self.sorted_sends():
+            out.setdefault(op.src, []).append(op)
+        return out
+
+    def receives_by_proc(self) -> dict[int, list[SendOp]]:
+        """Map processor -> incoming sends ordered by receive time."""
+        incoming: dict[int, list[SendOp]] = {}
+        for op in self.sends:
+            incoming.setdefault(op.dst, []).append(op)
+        for ops in incoming.values():
+            ops.sort(key=lambda op: (op.receive_start(self.params), op.src))
+        return incoming
+
+    def items(self) -> set[Item]:
+        found: set[Item] = set()
+        for items in self.initial.values():
+            found |= items
+        for op in self.sends:
+            found.add(op.item)
+        return found
+
+    def processors(self) -> set[int]:
+        procs = set(self.initial)
+        for op in self.sends:
+            procs.add(op.src)
+            procs.add(op.dst)
+        return procs
+
+    def item_creation_time(self, item: Item) -> int:
+        return self.source_items.get(item, 0)
+
+    def __len__(self) -> int:
+        return len(self.sends)
+
+    def __iter__(self) -> Iterator[SendOp]:
+        return iter(self.sorted_sends())
+
+    def extend(self, ops: Iterable[SendOp]) -> None:
+        self.sends.extend(ops)

@@ -1,0 +1,110 @@
+"""Schedule serialization: JSON export/import.
+
+Lets external runtimes (an MPI progress engine, a NIC command-queue
+compiler, a visualizer) consume plans produced by this library.  The
+format is stable and self-describing::
+
+    {
+      "format": "logp-schedule/1",
+      "params": {"P": 8, "L": 6, "o": 2, "g": 4},
+      "initial": [[0, [[0]]]],
+      "source_items": [],
+      "sends": [[0, 0, 1, [0]], ...]        # [time, src, dst, item]
+    }
+
+Items are encoded structurally (ints, strings, and tuples thereof) so the
+tuple-tagged items used across the library round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.params import LogPParams
+from repro.schedule.ops import Schedule, SendOp
+
+__all__ = ["schedule_to_json", "schedule_from_json", "dump_schedule", "load_schedule"]
+
+FORMAT = "logp-schedule/1"
+
+
+def _encode_item(item: Any) -> Any:
+    if isinstance(item, tuple):
+        return {"t": [_encode_item(x) for x in item]}
+    if isinstance(item, (int, str)):
+        return item
+    if isinstance(item, frozenset):
+        return {"fs": sorted(_encode_item(x) for x in item)}
+    raise TypeError(f"cannot serialize item of type {type(item).__name__}")
+
+
+def _decode_item(obj: Any) -> Any:
+    if isinstance(obj, dict):
+        if "t" in obj:
+            return tuple(_decode_item(x) for x in obj["t"])
+        if "fs" in obj:
+            return frozenset(_decode_item(x) for x in obj["fs"])
+        raise ValueError(f"unknown item encoding {obj!r}")
+    return obj
+
+
+def schedule_to_json(schedule: Schedule) -> str:
+    """Serialize a schedule to a JSON string."""
+    payload = {
+        "format": FORMAT,
+        "params": {
+            "P": schedule.params.P,
+            "L": schedule.params.L,
+            "o": schedule.params.o,
+            "g": schedule.params.g,
+        },
+        "initial": [
+            [proc, [_encode_item(item) for item in sorted(items, key=repr)]]
+            for proc, items in sorted(schedule.initial.items())
+        ],
+        "source_items": [
+            [_encode_item(item), when]
+            for item, when in sorted(schedule.source_items.items(), key=repr)
+        ],
+        "sends": [
+            [op.time, op.src, op.dst, _encode_item(op.item)]
+            for op in schedule.sorted_sends()
+        ],
+    }
+    return json.dumps(payload)
+
+
+def schedule_from_json(text: str) -> Schedule:
+    """Reconstruct a schedule from its JSON form."""
+    payload = json.loads(text)
+    if payload.get("format") != FORMAT:
+        raise ValueError(
+            f"unsupported format {payload.get('format')!r}; expected {FORMAT!r}"
+        )
+    params = LogPParams(**payload["params"])
+    schedule = Schedule(
+        params=params,
+        initial={
+            proc: {_decode_item(item) for item in items}
+            for proc, items in payload["initial"]
+        },
+        source_items={
+            _decode_item(item): when for item, when in payload["source_items"]
+        },
+    )
+    for time, src, dst, item in payload["sends"]:
+        schedule.add(time=time, src=src, dst=dst, item=_decode_item(item))
+    return schedule
+
+
+def dump_schedule(schedule: Schedule, path: str) -> None:
+    """Write a schedule to ``path`` as JSON."""
+    with open(path, "w") as handle:
+        handle.write(schedule_to_json(schedule))
+
+
+def load_schedule(path: str) -> Schedule:
+    """Read a schedule previously written by :func:`dump_schedule`."""
+    with open(path) as handle:
+        return schedule_from_json(handle.read())

@@ -1,0 +1,152 @@
+"""Schedule transformations: shift, remap, reverse, compose, restrict.
+
+Algebraic operations on schedules that preserve LogP legality (each is
+documented with the property it preserves; the test suite verifies them
+by replaying transformed schedules):
+
+* :func:`shift` — translate all send times by a constant (legality is
+  translation-invariant);
+* :func:`remap` — rename processors by a bijection (legality is
+  permutation-invariant);
+* :func:`reverse` — time-reverse a schedule around its completion time,
+  swapping senders and receivers.  Send gaps become receive gaps and
+  vice versa, so legality is preserved; this is exactly the paper's
+  broadcast-to-reduction correspondence (Section 4.2) and the
+  summation correspondence (Section 5);
+* :func:`concat` — run one schedule after another with a safety spacing
+  of ``max(g, o)`` so boundary gaps hold;
+* :func:`restrict` — keep only traffic within a processor subset
+  (legality restricts; completeness of a collective generally does not —
+  the caller asserts what survives).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, Mapping
+
+from repro.schedule.ops import Schedule, SendOp
+
+__all__ = ["shift", "remap", "reverse", "concat", "restrict"]
+
+
+def shift(schedule: Schedule, offset: int) -> Schedule:
+    """Translate every send (and source-item creation) by ``offset``.
+
+    ``offset`` may be negative as long as no send starts before cycle 0.
+    """
+    if schedule.sends and min(op.time for op in schedule.sends) + offset < 0:
+        raise ValueError("shift would move a send before cycle 0")
+    return Schedule(
+        params=schedule.params,
+        sends=[
+            SendOp(time=op.time + offset, src=op.src, dst=op.dst, item=op.item)
+            for op in schedule.sends
+        ],
+        initial={p: set(items) for p, items in schedule.initial.items()},
+        source_items={
+            item: when + offset for item, when in schedule.source_items.items()
+        },
+    )
+
+
+def remap(schedule: Schedule, mapping: Mapping[int, int]) -> Schedule:
+    """Rename processors; ``mapping`` must be injective on those used."""
+    used = schedule.processors()
+    image = {mapping.get(p, p) for p in used}
+    if len(image) != len(used):
+        raise ValueError("processor mapping is not injective on used processors")
+
+    def m(p: int) -> int:
+        return mapping.get(p, p)
+
+    return Schedule(
+        params=schedule.params,
+        sends=[
+            SendOp(time=op.time, src=m(op.src), dst=m(op.dst), item=op.item)
+            for op in schedule.sends
+        ],
+        initial={m(p): set(items) for p, items in schedule.initial.items()},
+        source_items=dict(schedule.source_items),
+    )
+
+
+def reverse(
+    schedule: Schedule,
+    item_of: Callable[[SendOp], Hashable] | None = None,
+    initial: dict[int, set] | None = None,
+) -> Schedule:
+    """Time-reverse around the completion time, swapping directions.
+
+    A message sent at ``s`` (received at ``s + L + 2o``) becomes one sent
+    at ``C - (s + L + 2o)`` from the old receiver to the old sender,
+    where ``C`` is the completion time.  ``item_of`` relabels items (the
+    default tags them ``("rev", old_dst)`` — the partial-sum convention
+    of the reduction correspondence); ``initial`` overrides the reversed
+    schedule's initial placement (default: every processor holds the
+    items it will send).
+    """
+    params = schedule.params
+    if not schedule.sends:
+        return Schedule(params=params, initial=initial or dict(schedule.initial))
+    completion = max(op.arrival(params) for op in schedule.sends)
+
+    def default_item(op: SendOp) -> Hashable:
+        return ("rev", op.dst)
+
+    label = item_of or default_item
+    sends = [
+        SendOp(
+            time=completion - op.arrival(params),
+            src=op.dst,
+            dst=op.src,
+            item=label(op),
+        )
+        for op in schedule.sends
+    ]
+    if initial is None:
+        initial = {}
+        for op in sends:
+            initial.setdefault(op.src, set()).add(op.item)
+    return Schedule(params=params, sends=sorted(sends), initial=initial)
+
+
+def concat(first: Schedule, second: Schedule) -> Schedule:
+    """Sequential composition: ``second`` starts after ``first`` finishes.
+
+    The boundary spacing is ``max(g, o)`` cycles after the last arrival,
+    which suffices for every per-processor gap/overhead constraint to
+    hold across the seam.  Initial placements of ``second`` are assumed
+    to be satisfied by ``first``'s effects (the caller's responsibility —
+    items are merged into the combined initial set so causality checks
+    pass only if that is true or items differ).
+    """
+    if first.params != second.params:
+        raise ValueError("cannot concatenate schedules for different machines")
+    params = first.params
+    finish = max((op.arrival(params) for op in first.sends), default=0)
+    offset = finish + max(params.g, params.o, 1)
+    moved = shift(second, offset)
+    initial = {p: set(items) for p, items in first.initial.items()}
+    for p, items in moved.initial.items():
+        initial.setdefault(p, set()).update(items)
+    return Schedule(
+        params=params,
+        sends=sorted(first.sends + moved.sends),
+        initial=initial,
+        source_items={**first.source_items, **moved.source_items},
+    )
+
+
+def restrict(schedule: Schedule, procs: Iterable[int]) -> Schedule:
+    """Keep only messages whose both endpoints lie in ``procs``."""
+    keep = set(procs)
+    return Schedule(
+        params=schedule.params,
+        sends=[
+            op for op in schedule.sends if op.src in keep and op.dst in keep
+        ],
+        initial={
+            p: set(items) for p, items in schedule.initial.items() if p in keep
+        },
+        source_items=dict(schedule.source_items),
+    )

@@ -1,0 +1,231 @@
+"""Cycle-stepped LogP machine simulator.
+
+Two entry points:
+
+* :func:`replay` — re-execute an explicit :class:`Schedule`, verifying all
+  LogP constraints and returning the execution :class:`Trace`.  This is the
+  oracle against which every constructive algorithm in the library is
+  checked.
+* :class:`Machine` — run *reactive programs* (one per processor) under
+  earliest-available semantics.  Programs queue send intents; the engine
+  assigns actual cycle-accurate start times.  A send departs only when the
+  LogP model permits it end to end: the sender's gap and overhead, the
+  *receiver's* gap and overhead at the implied arrival slot (slots are
+  reserved at send time, like a circuit-switched admission check), and
+  thus also the network capacity.  The realized :class:`Schedule` therefore
+  always replays cleanly on the strict validator.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Hashable, Protocol
+
+from repro.params import LogPParams
+from repro.schedule.ops import Schedule, SendOp
+from repro.sim.trace import Trace, trace_from_schedule
+from repro.sim.validate import assert_valid
+
+__all__ = ["replay", "Machine", "Program", "Context"]
+
+Item = Hashable
+
+
+def replay(schedule: Schedule, check_capacity: bool = True) -> Trace:
+    """Validate ``schedule`` against the LogP model and return its trace.
+
+    Raises ``ValueError`` (with every violation listed) if the schedule is
+    not a legal execution.
+    """
+    assert_valid(schedule, check_capacity=check_capacity)
+    return trace_from_schedule(schedule)
+
+
+class Context:
+    """Handle given to program callbacks for interacting with the machine."""
+
+    def __init__(self, machine: "Machine", proc: int, time: int):
+        self._machine = machine
+        self.proc = proc
+        self.time = time
+
+    def send(self, dst: int, item: Item) -> None:
+        """Queue a message; it departs as soon as the LogP model permits."""
+        self._machine._enqueue_send(self.proc, dst, item)
+
+    def has(self, item: Item) -> bool:
+        return item in self._machine._states[self.proc].held
+
+    def held_items(self) -> frozenset[Item]:
+        return frozenset(self._machine._states[self.proc].held)
+
+    @property
+    def params(self) -> LogPParams:
+        return self._machine.params
+
+
+class Program(Protocol):
+    """Per-processor reactive behaviour.
+
+    ``on_start`` fires at cycle 0; ``on_receive`` fires at the cycle the
+    item becomes available (end of the receive overhead).
+    """
+
+    def on_start(self, ctx: Context) -> None: ...
+
+    def on_receive(self, ctx: Context, item: Item, src: int) -> None: ...
+
+
+@dataclass
+class _ProcState:
+    held: set[Item] = field(default_factory=set)
+    outbox: deque = field(default_factory=deque)  # (dst, item)
+    last_send_start: int | None = None
+    recv_slots: set[int] = field(default_factory=set)  # booked receive starts
+    inbox: list = field(default_factory=list)  # heap of (recv_start, seq, src, item)
+
+
+class Machine:
+    """Earliest-available cycle-stepped execution of reactive programs.
+
+    Per cycle each processor attempts to start at most one send (head of
+    its FIFO outbox).  A send at cycle ``t`` is admitted only if
+
+    * the item is held and the last send started >= ``g`` cycles ago,
+    * (``o > 0``) the sender's overhead ``[t, t+o)`` does not overlap any
+      of its reserved incoming receive overheads,
+    * the receive slot ``t + o + L`` at the destination is >= ``g`` away
+      from every already-reserved slot there.
+
+    Receptions happen exactly at their reserved slots, so the realized
+    schedule satisfies the strict LogP validator by construction.
+    """
+
+    def __init__(
+        self,
+        params: LogPParams,
+        programs: dict[int, Program],
+        initial: dict[int, set[Item]] | None = None,
+        max_cycles: int = 1_000_000,
+    ):
+        self.params = params
+        self.programs = programs
+        self.max_cycles = max_cycles
+        self._states: dict[int, _ProcState] = {
+            p: _ProcState() for p in range(params.P)
+        }
+        init = initial if initial is not None else {0: {0}}
+        for proc, items in init.items():
+            self._states[proc].held |= set(items)
+        self._initial = {p: set(s.held) for p, s in self._states.items() if s.held}
+        self._sends: list[SendOp] = []
+        self._seq = 0
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _enqueue_send(self, src: int, dst: int, item: Item) -> None:
+        if dst == src:
+            raise ValueError(f"proc {src} cannot send to itself")
+        if not (0 <= dst < self.params.P):
+            raise ValueError(f"destination {dst} out of range")
+        self._states[src].outbox.append((dst, item))
+
+    def _send_admissible(self, proc: int, t: int) -> bool:
+        params = self.params
+        state = self._states[proc]
+        if not state.outbox:
+            return False
+        dst, item = state.outbox[0]
+        if item not in state.held:
+            return False
+        if state.last_send_start is not None and t - state.last_send_start < params.g:
+            return False
+        if params.o > 0:
+            # the sender's overhead [t, t+o) must not overlap any reserved
+            # incoming receive overhead [r, r+o)
+            for r in state.recv_slots:
+                if abs(r - t) < params.o:
+                    return False
+        slot = t + params.o + params.L
+        dst_slots = self._states[dst].recv_slots
+        for r in dst_slots:
+            if abs(r - slot) < params.g:
+                return False
+        return True
+
+    def run(self) -> Schedule:
+        """Run all programs to quiescence and return the realized schedule."""
+        params = self.params
+        o = params.o
+        # pending callbacks: heap of (fire_time, seq, kind, proc, payload)
+        pending: list[tuple[int, int, str, int, tuple]] = []
+        for proc in sorted(self.programs):
+            heapq.heappush(pending, (0, self._next_seq(), "start", proc, ()))
+
+        def drain_callbacks(t: int) -> None:
+            while pending and pending[0][0] <= t:
+                fire_time, _seq, kind, proc, payload = heapq.heappop(pending)
+                prog = self.programs.get(proc)
+                if prog is None:
+                    continue
+                ctx = Context(self, proc, max(fire_time, t))
+                if kind == "start":
+                    prog.on_start(ctx)
+                else:
+                    item, src = payload
+                    prog.on_receive(ctx, item, src)
+
+        t = 0
+        while t <= self.max_cycles:
+            drain_callbacks(t)
+
+            # phase 1: receptions due this cycle (slots are pre-validated)
+            for proc in range(params.P):
+                state = self._states[proc]
+                if state.inbox and state.inbox[0][0] <= t:
+                    recv_start, _sq, src, item = heapq.heappop(state.inbox)
+                    assert recv_start == t, "reserved slot must fire on time"
+                    state.held.add(item)
+                    heapq.heappush(
+                        pending,
+                        (t + o, self._next_seq(), "recv", proc, (item, src)),
+                    )
+
+            # with o == 0 the payload is usable this very cycle, and the
+            # postal model is full duplex: fire handlers before the send
+            # phase so a just-informed processor can relay immediately
+            if o == 0:
+                drain_callbacks(t)
+
+            # phase 2: sends
+            for proc in range(params.P):
+                if self._send_admissible(proc, t):
+                    state = self._states[proc]
+                    dst, item = state.outbox.popleft()
+                    state.last_send_start = t
+                    self._sends.append(SendOp(time=t, src=proc, dst=dst, item=item))
+                    slot = t + o + params.L
+                    dst_state = self._states[dst]
+                    dst_state.recv_slots.add(slot)
+                    heapq.heappush(
+                        dst_state.inbox, (slot, self._next_seq(), proc, item)
+                    )
+
+            if not pending and not any(
+                s.outbox or s.inbox for s in self._states.values()
+            ):
+                break
+            t += 1
+        else:
+            raise RuntimeError(f"simulation exceeded {self.max_cycles} cycles")
+
+        return Schedule(
+            params=params, sends=sorted(self._sends), initial=self._initial
+        )
+
+    def held(self, proc: int) -> frozenset[Item]:
+        return frozenset(self._states[proc].held)

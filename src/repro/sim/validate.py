@@ -1,0 +1,169 @@
+"""LogP legality checking for schedules.
+
+:func:`violations` inspects a :class:`~repro.schedule.ops.Schedule` and
+returns a list of human-readable violation strings (empty means the
+schedule is a legal LogP execution).  The checks implement the model of
+Section 1 of the paper:
+
+* **causality** — a processor only sends items it already holds;
+* **send gap** — successive send *starts* at one processor are >= ``g``
+  apart;
+* **receive gap** — successive receive *starts* at one processor are
+  >= ``g`` apart;
+* **overhead exclusivity** — when ``o > 0``, the send and receive
+  overhead intervals at one processor are pairwise disjoint;
+* **capacity** — at most ``ceil(L/g)`` messages are simultaneously in
+  transit from any processor, and to any processor.
+
+Two further *problem-specific* predicates are provided:
+:func:`single_reception_violations` (no processor receives the same item
+twice — the "correctness" criterion of Section 3.1) and
+:func:`is_single_sending` (the source transmits each item exactly once —
+Section 3.4).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.schedule.analysis import availability
+from repro.schedule.ops import Schedule, SendOp
+
+__all__ = [
+    "violations",
+    "assert_valid",
+    "single_reception_violations",
+    "is_single_sending",
+]
+
+Item = Hashable
+
+
+def _interval_overlap(a0: int, a1: int, b0: int, b1: int) -> bool:
+    return a0 < b1 and b0 < a1
+
+
+def violations(schedule: Schedule, check_capacity: bool = True) -> list[str]:
+    """Return all LogP-model violations in ``schedule`` (empty if legal)."""
+    params = schedule.params
+    problems: list[str] = []
+
+    avail = availability(schedule)
+
+    # Causality: the item must be available at the sender at send start.
+    for op in schedule.sorted_sends():
+        have = avail.get((op.src, op.item))
+        if have is None:
+            problems.append(
+                f"causality: proc {op.src} sends item {op.item!r} at t={op.time} "
+                f"but never holds it"
+            )
+        elif op.time < have:
+            problems.append(
+                f"causality: proc {op.src} sends item {op.item!r} at t={op.time} "
+                f"but only holds it from t={have}"
+            )
+        if op.src == op.dst:
+            problems.append(f"self-send: proc {op.src} at t={op.time}")
+
+    # Gap between consecutive sends at one processor.
+    for proc, ops in schedule.sends_by_proc().items():
+        for prev, cur in zip(ops, ops[1:]):
+            if cur.time - prev.time < params.g:
+                problems.append(
+                    f"send gap: proc {proc} sends at t={prev.time} and "
+                    f"t={cur.time} (< g={params.g} apart)"
+                )
+
+    # Gap between consecutive receives at one processor.
+    for proc, ops in schedule.receives_by_proc().items():
+        starts = [op.receive_start(params) for op in ops]
+        for prev, cur in zip(starts, starts[1:]):
+            if cur - prev < params.g:
+                problems.append(
+                    f"receive gap: proc {proc} receives at t={prev} and "
+                    f"t={cur} (< g={params.g} apart)"
+                )
+
+    # Overhead exclusivity (only binding when o > 0).
+    if params.o > 0:
+        busy: dict[int, list[tuple[int, int, str]]] = {}
+        for op in schedule.sends:
+            busy.setdefault(op.src, []).append(
+                (op.time, op.time + params.o, f"send@{op.time}")
+            )
+            rs = op.receive_start(params)
+            busy.setdefault(op.dst, []).append(
+                (rs, rs + params.o, f"recv@{rs}")
+            )
+        for proc, intervals in busy.items():
+            intervals.sort()
+            for (a0, a1, what_a), (b0, b1, what_b) in zip(intervals, intervals[1:]):
+                if _interval_overlap(a0, a1, b0, b1):
+                    problems.append(
+                        f"overhead overlap: proc {proc} busy with {what_a} "
+                        f"and {what_b}"
+                    )
+
+    # Network capacity: <= ceil(L/g) in transit per source and per dest.
+    if check_capacity:
+        cap = params.capacity
+        events: dict[tuple[str, int], list[tuple[int, int]]] = {}
+        for op in schedule.sends:
+            t0 = op.time + params.o
+            t1 = t0 + params.L
+            events.setdefault(("from", op.src), []).append((t0, +1))
+            events.setdefault(("from", op.src), []).append((t1, -1))
+            events.setdefault(("to", op.dst), []).append((t0, +1))
+            events.setdefault(("to", op.dst), []).append((t1, -1))
+        for (direction, proc), evs in events.items():
+            evs.sort()
+            in_flight = 0
+            for _t, delta in evs:
+                in_flight += delta
+                if in_flight > cap:
+                    problems.append(
+                        f"capacity: > {cap} messages in transit "
+                        f"{direction} proc {proc}"
+                    )
+                    break
+
+    return problems
+
+
+def assert_valid(schedule: Schedule, check_capacity: bool = True) -> None:
+    """Raise ``ValueError`` with all violations if the schedule is illegal."""
+    problems = violations(schedule, check_capacity=check_capacity)
+    if problems:
+        preview = "\n  ".join(problems[:10])
+        more = f"\n  ... and {len(problems) - 10} more" if len(problems) > 10 else ""
+        raise ValueError(f"illegal LogP schedule:\n  {preview}{more}")
+
+
+def single_reception_violations(schedule: Schedule) -> list[str]:
+    """Check the broadcast *correctness* criterion: no processor receives
+    the same item twice (and no processor receives an item it started with).
+    """
+    problems: list[str] = []
+    seen: set[tuple[int, Item]] = set()
+    for proc, items in schedule.initial.items():
+        for item in items:
+            seen.add((proc, item))
+    for op in schedule.sorted_sends():
+        key = (op.dst, op.item)
+        if key in seen:
+            problems.append(
+                f"duplicate reception: proc {op.dst} receives item "
+                f"{op.item!r} more than once (send at t={op.time})"
+            )
+        seen.add(key)
+    return problems
+
+
+def is_single_sending(schedule: Schedule, source: int = 0) -> bool:
+    """True iff the source transmits each item exactly once (Section 3.4)."""
+    counts: dict[Item, int] = {}
+    for op in schedule.sends:
+        if op.src == source:
+            counts[op.item] = counts.get(op.item, 0) + 1
+    return all(count == 1 for count in counts.values())

@@ -1,0 +1,15 @@
+"""ASCII renderers for the paper's figures."""
+
+from repro.viz.ascii import render_activity, render_schedule_activity, render_tree
+from repro.viz.digraph import render_digraph
+from repro.viz.tables import (
+    buffered_reception_table,
+    reception_table,
+    render_reception_table,
+)
+
+__all__ = [
+    "render_tree", "render_activity", "render_schedule_activity",
+    "reception_table", "render_reception_table", "buffered_reception_table",
+    "render_digraph",
+]

@@ -1,0 +1,62 @@
+"""ASCII renderings of trees and activity timelines (Figures 1 and 6).
+
+Pure-text output (the evaluation environment has no plotting stack); each
+renderer returns a string so benchmarks can ``print`` it and tests can
+assert on its structure.
+"""
+
+from __future__ import annotations
+
+from repro.core.tree import BroadcastTree
+from repro.schedule.ops import Schedule
+from repro.sim.trace import Trace, trace_from_schedule
+
+__all__ = ["render_tree", "render_activity", "render_schedule_activity"]
+
+
+def render_tree(tree: BroadcastTree, label: str = "P") -> str:
+    """Indented tree view with per-node delays, e.g.::
+
+        P0 @0
+          P1 @10
+            P5 @20
+          P2 @14
+          ...
+    """
+    lines: list[str] = []
+
+    def walk(index: int, depth: int) -> None:
+        node = tree.nodes[index]
+        lines.append(f"{'  ' * depth}{label}{index} @{node.delay}")
+        for child in node.children:
+            walk(child, depth + 1)
+
+    walk(0, 0)
+    return "\n".join(lines)
+
+
+def render_activity(trace: Trace, width: int | None = None) -> str:
+    """Per-processor activity timeline (the right panel of Figure 1).
+
+    One row per processor; each column is a cycle: ``s`` send overhead,
+    ``r`` receive overhead, ``+`` computation, ``.`` idle.
+    """
+    horizon = trace.horizon() if width is None else width
+    rows: list[str] = []
+    header = "     " + "".join(
+        str(t % 10) if t % 5 == 0 else " " for t in range(horizon)
+    )
+    rows.append(header)
+    symbols = {"send": "s", "recv": "r", "compute": "+"}
+    for proc in sorted(trace.activities):
+        cells = ["."] * horizon
+        for act in trace.activities[proc]:
+            for c in range(act.start, min(act.end, horizon)):
+                cells[c] = symbols.get(act.kind, "?")
+        rows.append(f"P{proc:<3} " + "".join(cells))
+    return "\n".join(rows)
+
+
+def render_schedule_activity(schedule: Schedule) -> str:
+    """Convenience: trace a schedule and render its timeline."""
+    return render_activity(trace_from_schedule(schedule))

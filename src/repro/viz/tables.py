@@ -1,0 +1,75 @@
+"""Reception tables (Figures 2, 4 and 5).
+
+A reception table has one row per time step and one column per
+processor; the entry is the item received at that step (the paper's
+absolute addressing: item indices, 1-based in the figures, 0-based
+here).  Active (internal-node / uppercase) receptions are wrapped in
+``(...)``, buffered-then-delayed receptions (Figure 5's boxed entries)
+in ``[...]``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Hashable
+
+from repro.core.kitem.buffered import BufferedSchedule
+from repro.schedule.ops import Schedule
+
+__all__ = ["reception_table", "render_reception_table", "buffered_reception_table"]
+
+
+def reception_table(
+    schedule: Schedule, actives: set[tuple[int, Hashable]] | None = None
+) -> dict[int, dict[int, str]]:
+    """Map ``step -> proc -> entry`` from an explicit schedule.
+
+    ``actives`` optionally marks ``(proc, item)`` receptions to highlight.
+    """
+    table: dict[int, dict[int, str]] = defaultdict(dict)
+    for op in schedule.sorted_sends():
+        when = op.arrival(schedule.params)
+        entry = str(op.item)
+        if actives and (op.dst, op.item) in actives:
+            entry = f"({entry})"
+        table[when][op.dst] = entry
+    return dict(table)
+
+
+def buffered_reception_table(schedule: BufferedSchedule) -> dict[int, dict[int, str]]:
+    """Figure 5's table: ``(i)`` marks active items, ``[i]`` delayed ones."""
+    table: dict[int, dict[int, str]] = defaultdict(dict)
+    for (proc, item), (arrival, recv, active) in schedule.receptions.items():
+        if active:
+            entry = f"({item})"
+        elif recv > arrival:
+            entry = f"[{item}]"
+        else:
+            entry = str(item)
+        table[recv][proc] = entry
+    return dict(table)
+
+
+def render_reception_table(
+    table: dict[int, dict[int, str]],
+    procs: list[int] | None = None,
+    time_range: tuple[int, int] | None = None,
+) -> str:
+    """Render a ``step -> proc -> entry`` mapping as an aligned text grid."""
+    if not table:
+        return "(empty)"
+    if procs is None:
+        procs = sorted({p for row in table.values() for p in row})
+    if time_range is None:
+        time_range = (min(table), max(table))
+    width = max(
+        [len(str(e)) for row in table.values() for e in row.values()] + [4]
+    )
+    lines = [
+        "time " + "".join(f"P{p:<{width}}" for p in procs)
+    ]
+    for step in range(time_range[0], time_range[1] + 1):
+        row = table.get(step, {})
+        cells = "".join(f" {row.get(p, '·'):<{width}}" for p in procs)
+        lines.append(f"{step:>4} {cells}")
+    return "\n".join(lines)

@@ -1,0 +1,114 @@
+"""Tests for the baseline algorithms (and that the optimum beats them)."""
+
+import pytest
+
+from repro.baselines.kitem import (
+    repeated_broadcast_schedule,
+    scatter_allgather_schedule,
+    staggered_binomial_schedule,
+)
+from repro.baselines.summation import (
+    binary_reduction_capacity,
+    binary_reduction_time,
+    sequential_time,
+)
+from repro.baselines.trees import baseline_broadcast
+from repro.core.fib import broadcast_time
+from repro.core.kitem.bounds import kitem_lower_bound
+from repro.params import LogPParams, postal
+from repro.core.summation.capacity import summation_capacity
+from repro.schedule.analysis import broadcast_delay_per_proc
+from tests.conftest import assert_broadcast_complete, assert_kitem_complete
+
+MACHINES = [
+    postal(P=7, L=2),
+    postal(P=16, L=4),
+    LogPParams(P=8, L=6, o=2, g=4),
+    LogPParams(P=12, L=3, o=1, g=2),
+]
+
+
+class TestBroadcastBaselines:
+    @pytest.mark.parametrize("name", ["flat", "chain", "binary", "binomial"])
+    @pytest.mark.parametrize("params", MACHINES)
+    def test_valid_and_complete(self, name, params):
+        delays = assert_broadcast_complete(baseline_broadcast(name, params), P=params.P)
+        assert max(delays.values()) >= broadcast_time(params.P, params)
+
+    def test_optimal_never_loses(self):
+        # B(P) lower-bounds every baseline on every machine
+        for params in MACHINES:
+            opt = broadcast_time(params.P, params)
+            for name in ("flat", "chain", "binary", "binomial"):
+                s = baseline_broadcast(name, params)
+                worst = max(broadcast_delay_per_proc(s).values())
+                assert worst >= opt, (name, params)
+
+    def test_binomial_matches_optimal_for_L1_postal(self):
+        # with L=1, o=0, g=1 the universal tree IS binomial
+        params = postal(P=16, L=1)
+        s = baseline_broadcast("binomial", params)
+        assert max(broadcast_delay_per_proc(s).values()) == broadcast_time(16, params)
+
+    def test_fig1_gaps(self, fig1_params):
+        # the LogP paper's motivating example: optimal 24 vs binomial 30
+        opt = broadcast_time(8, fig1_params)
+        bino = max(
+            broadcast_delay_per_proc(
+                baseline_broadcast("binomial", fig1_params)
+            ).values()
+        )
+        assert opt == 24 and bino == 30
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            baseline_broadcast("quantum", postal(P=4, L=2))
+
+
+class TestKItemBaselines:
+    @pytest.mark.parametrize("builder", [
+        repeated_broadcast_schedule,
+        staggered_binomial_schedule,
+        scatter_allgather_schedule,
+    ])
+    @pytest.mark.parametrize("P,L,k", [(5, 2, 4), (10, 3, 6), (9, 1, 8), (2, 3, 3)])
+    def test_valid_and_complete(self, builder, P, L, k):
+        s = builder(k, P, L)
+        done = assert_kitem_complete(s, P=P, k=k)
+        assert done >= kitem_lower_bound(P, L, k)
+
+    def test_repeated_time_is_k_times_B(self):
+        P, L, k = 10, 3, 5
+        s = repeated_broadcast_schedule(k, P, L)
+        done = assert_kitem_complete(s, P=P, k=k)
+        assert done == k * broadcast_time(P, postal(P=P, L=L))
+
+    def test_scatter_wins_over_repeated_for_large_k(self):
+        P, L, k = 6, 2, 30
+        rep = assert_kitem_complete(repeated_broadcast_schedule(k, P, L), P=P, k=k)
+        sc = assert_kitem_complete(scatter_allgather_schedule(k, P, L), P=P, k=k)
+        assert sc < rep
+
+
+class TestSummationBaselines:
+    def test_binary_reduction_time_formula(self):
+        p = postal(P=4, L=2)
+        # 8 operands: 1 local add + 2 rounds * (2+1)
+        assert binary_reduction_time(8, p) == 1 + 2 * 3
+
+    def test_capacity_inverse(self):
+        p = LogPParams(P=8, L=5, o=2, g=4)
+        for t in (10, 28, 40):
+            n = binary_reduction_capacity(t, p)
+            assert binary_reduction_time(n, p) <= t
+            assert binary_reduction_time(n + 1, p) > t
+
+    def test_optimal_summation_dominates(self):
+        p = LogPParams(P=8, L=5, o=2, g=4)
+        for t in (28, 35, 50):
+            assert summation_capacity(t, p) >= binary_reduction_capacity(t, p)
+
+    def test_sequential(self):
+        assert sequential_time(10) == 9
+        with pytest.raises(ValueError):
+            sequential_time(0)

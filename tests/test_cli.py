@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_machine_args(self):
+        args = build_parser().parse_args(
+            ["plan-bcast", "--P", "8", "--L", "6", "--o", "2", "--g", "4"]
+        )
+        assert (args.P, args.L, args.o, args.g) == (8, 6, 2, 4)
+
+    def test_sum_requires_n_or_t(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan-sum", "--P", "4", "--L", "2"])
+
+
+class TestCommands:
+    def test_plan_bcast(self, capsys):
+        assert main(["plan-bcast", "--P", "8", "--L", "6", "--o", "2", "--g", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "B(P) = 24" in out
+        assert "binomial" in out
+
+    def test_plan_bcast_tree_and_timeline(self, capsys):
+        main(["plan-bcast", "--P", "4", "--L", "2", "--show-tree", "--timeline"])
+        out = capsys.readouterr().out
+        assert "P0 @0" in out  # tree
+        assert "P0 " in out    # timeline rows
+
+    def test_plan_kitem(self, capsys):
+        assert main(["plan-kitem", "--P", "10", "--L", "3", "--k", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "completion:             17" in out
+        assert "lower bound:    15" in out
+
+    def test_plan_kitem_table(self, capsys):
+        main(["plan-kitem", "--P", "5", "--L", "2", "--k", "3", "--table"])
+        out = capsys.readouterr().out
+        assert "time" in out
+
+    def test_plan_sum_by_n(self, capsys):
+        assert main([
+            "plan-sum", "--P", "8", "--L", "5", "--o", "2", "--g", "4", "--n", "79",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "t = 28 cycles" in out
+
+    def test_plan_sum_by_t(self, capsys):
+        main(["plan-sum", "--P", "4", "--L", "2", "--t", "10"])
+        out = capsys.readouterr().out
+        assert "operands" in out
+
+    def test_plan_allreduce(self, capsys):
+        assert main(["plan-allreduce", "--P", "9", "--L", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "T = 7" in out
+
+    def test_figures_single(self, capsys):
+        assert main(["figures", "--only", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out and "B(P) = 24" in out
+
+    def test_report(self, capsys):
+        assert main(["report", "--P", "8", "--L", "6", "--o", "2", "--g", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "# LogP collectives report" in out
+        assert "B(P) = 24" in out
+        assert "Summation" in out

@@ -1,0 +1,160 @@
+"""Tests for the high-level Communicator / VirtualCluster API."""
+
+import operator
+
+import pytest
+
+from repro.comm import Communicator, VirtualCluster
+from repro.core.fib import broadcast_time, broadcast_time_postal
+from repro.params import LogPParams, postal
+
+FIG1 = LogPParams(P=8, L=6, o=2, g=4)
+
+
+class TestCommunicatorPlans:
+    def test_bcast_cycles(self):
+        comm = Communicator(FIG1)
+        assert comm.bcast().cycles == 24
+
+    def test_bcast_rooted(self):
+        comm = Communicator(postal(P=6, L=2))
+        plan = comm.bcast(root=4)
+        # processor 4 never receives; everyone else exactly once
+        receivers = sorted(op.dst for op in plan.schedule.sends)
+        assert receivers == [0, 1, 2, 3, 5]
+
+    def test_bcast_root_out_of_range(self):
+        with pytest.raises(ValueError):
+            Communicator(FIG1).bcast(root=8)
+
+    def test_plans_cached(self):
+        comm = Communicator(FIG1)
+        assert comm.bcast() is comm.bcast()
+        assert comm.bcast(1) is not comm.bcast(2)
+
+    def test_kitem_requires_postal(self):
+        with pytest.raises(ValueError):
+            Communicator(FIG1).kitem_bcast(4)
+
+    def test_kitem_cycles(self):
+        comm = Communicator(postal(P=10, L=3))
+        plan = comm.kitem_bcast(8)
+        assert plan.cycles == 17
+
+    def test_scatter_gather_symmetric(self):
+        comm = Communicator(FIG1)
+        assert comm.scatter().cycles == comm.gather().cycles
+
+    def test_reduce_matches_bcast(self):
+        comm = Communicator(FIG1)
+        assert comm.reduce().cycles == comm.bcast().cycles == 24
+
+    def test_allreduce_combining_when_sized(self):
+        comm = Communicator(postal(P=9, L=3))  # 9 = f_7 for L=3
+        plan = comm.allreduce()
+        assert plan.meta["algorithm"] == "combining"
+        assert plan.cycles == 7
+
+    def test_allreduce_fallback(self):
+        comm = Communicator(postal(P=7, L=3))  # 7 is not a P(T) value
+        plan = comm.allreduce()
+        assert plan.meta["algorithm"] == "reduce+bcast"
+        assert plan.cycles == 2 * broadcast_time_postal(7, 3)
+
+    def test_allgather_alltoall(self):
+        comm = Communicator(postal(P=5, L=2))
+        assert comm.allgather().cycles == 2 + 3  # L + (P-2)g
+        assert comm.alltoall().cycles == 2 + 3
+
+
+class TestVirtualClusterData:
+    def test_bcast_values(self):
+        cluster = VirtualCluster(FIG1)
+        values, cycles = cluster.bcast("payload", root=3)
+        assert values == ["payload"] * 8
+        assert cycles == 24
+
+    def test_kitem_values(self):
+        cluster = VirtualCluster(postal(P=10, L=3))
+        data = [f"item{i}" for i in range(8)]
+        results, cycles = cluster.kitem_bcast(data, root=0)
+        assert all(r == data for r in results)
+        assert cycles == 17
+
+    def test_scatter_values(self):
+        cluster = VirtualCluster(postal(P=4, L=2))
+        values, _ = cluster.scatter(["a", "b", "c", "d"], root=1)
+        assert values == ["a", "b", "c", "d"]
+
+    def test_scatter_wrong_count(self):
+        with pytest.raises(ValueError):
+            VirtualCluster(postal(P=4, L=2)).scatter(["a"], root=0)
+
+    def test_reduce_sum(self):
+        cluster = VirtualCluster(postal(P=9, L=3))
+        total, cycles = cluster.reduce(list(range(9)))
+        assert total == sum(range(9))
+        assert cycles == broadcast_time(9, postal(P=9, L=3))
+
+    def test_reduce_custom_op(self):
+        cluster = VirtualCluster(postal(P=5, L=2))
+        result, _ = cluster.reduce([3, 1, 4, 1, 5], op=max)
+        assert result == 5
+
+    def test_allreduce_combining_values(self):
+        cluster = VirtualCluster(postal(P=9, L=3))
+        results, cycles = cluster.allreduce(list(range(1, 10)))
+        assert results == [45] * 9
+        assert cycles == 7
+
+    def test_allreduce_fallback_values(self):
+        cluster = VirtualCluster(postal(P=7, L=3))
+        results, _ = cluster.allreduce([1] * 7)
+        assert results == [7] * 7
+
+    def test_allgather_values(self):
+        cluster = VirtualCluster(postal(P=4, L=2))
+        results, _ = cluster.allgather(["w", "x", "y", "z"])
+        assert all(r == ["w", "x", "y", "z"] for r in results)
+
+    def test_alltoall_values(self):
+        P = 4
+        cluster = VirtualCluster(postal(P=P, L=2))
+        matrix = [[f"{i}->{j}" for j in range(P)] for i in range(P)]
+        results, _ = cluster.alltoall(matrix)
+        for dst in range(P):
+            assert results[dst] == [f"{src}->{dst}" for src in range(P)]
+
+    def test_alltoall_shape_checked(self):
+        with pytest.raises(ValueError):
+            VirtualCluster(postal(P=3, L=2)).alltoall([[1, 2], [3, 4]])
+
+    def test_allreduce_max(self):
+        cluster = VirtualCluster(postal(P=9, L=3))
+        results, _ = cluster.allreduce([2, 9, 4, 7, 1, 8, 3, 5, 6], op=max)
+        assert results == [9] * 9
+
+
+class TestSubCommunicators:
+    def test_subset_bcast_embeds(self):
+        from repro.comm import embed_plan
+
+        parent = Communicator(postal(P=12, L=3))
+        sub, mapping = parent.subset([2, 5, 7, 9, 11])
+        assert sub.params.P == 5
+        plan = sub.bcast(root=0)
+        lifted = embed_plan(plan, mapping, params=parent.params)
+        # all traffic stays within the chosen physical ranks
+        used = {op.src for op in lifted.sends} | {op.dst for op in lifted.sends}
+        assert used <= {2, 5, 7, 9, 11}
+        # the sub-root is physical rank 2
+        assert all(op.src == 2 or op.src in used for op in lifted.sends)
+
+    def test_subset_deduplicates_and_validates(self):
+        parent = Communicator(postal(P=6, L=2))
+        sub, mapping = parent.subset([1, 1, 3])
+        assert sub.params.P == 2 and mapping == {0: 1, 1: 3}
+        with pytest.raises(ValueError):
+            parent.subset([99])
+        with pytest.raises(ValueError):
+            parent.subset([])

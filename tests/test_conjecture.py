@@ -1,0 +1,49 @@
+"""Tests for the conjecture-exploration tooling and doctest hygiene."""
+
+import doctest
+
+import pytest
+
+import repro.core.fib
+import repro.params
+from repro.core.continuous.assignment import find_base_cases
+from repro.experiments.conjecture import (
+    KNOWN_TL,
+    conjecture_status,
+    probe_base_cases,
+)
+
+
+class TestConjectureTooling:
+    def test_known_values_match_solver(self):
+        # spot-check the published table against the live solver (L <= 5
+        # to keep the suite fast; 6..10 verified separately)
+        for L in (3, 4, 5):
+            assert find_base_cases(L)[0] == KNOWN_TL[L]
+
+    def test_probe_L3(self):
+        results = probe_base_cases(3, t_range=(10, 14), time_budget=30.0)
+        outcomes = {r.t: r.outcome for r in results}
+        assert outcomes[11] == "solved"
+        assert outcomes[12] == "solved"
+        assert outcomes[13] == "solved"
+
+    def test_probe_reports_unsolved(self):
+        # L=4, t=8 is the paper's unsolvable instance
+        results = probe_base_cases(4, t_range=(8, 8), time_budget=30.0)
+        assert results[0].outcome == "unsolved"
+
+    def test_status_table(self):
+        rows = conjecture_status(max_L=12)
+        by_L = {row["L"]: row for row in rows}
+        assert "refuted" in by_L[2]["status"]
+        assert by_L[3]["t(L)"] == 11
+        assert "open" in by_L[11]["status"]
+        assert "open" in by_L[12]["status"]
+
+
+class TestDoctests:
+    @pytest.mark.parametrize("module", [repro.params, repro.core.fib])
+    def test_module_doctests(self, module):
+        failures, _tests = doctest.testmod(module)
+        assert failures == 0

@@ -1,0 +1,104 @@
+"""Edge cases and cross-cutting invariants not covered elsewhere."""
+
+import pytest
+
+from repro import (
+    LogPParams,
+    broadcast_time,
+    optimal_broadcast_schedule,
+    postal,
+    replay,
+)
+from repro.core.continuous.relative import instance_for
+from repro.core.fib import kitem_items_by_deadline, kitem_lower_bound
+from repro.core.summation.capacity import min_summation_time, summation_capacity
+from repro.core.tree import optimal_tree, tree_for_time
+
+
+class TestDegenerateMachines:
+    def test_single_processor_everything_trivial(self):
+        p = postal(P=1, L=3)
+        assert broadcast_time(1, p) == 0
+        assert len(optimal_broadcast_schedule(p)) == 0
+
+    def test_two_processors(self):
+        p = LogPParams(P=2, L=7, o=3, g=4)
+        s = optimal_broadcast_schedule(p)
+        replay(s)
+        assert broadcast_time(2, p) == 7 + 6
+
+    def test_minimum_latency(self):
+        p = postal(P=16, L=1)
+        s = optimal_broadcast_schedule(p)
+        replay(s)
+        assert broadcast_time(16, p) == 4  # doubling
+
+    def test_huge_latency_small_P(self):
+        p = postal(P=3, L=100)
+        assert broadcast_time(3, p) == 101  # source sends twice, 0 and 1
+
+
+class TestInstanceEdges:
+    def test_t_below_L_single_node(self):
+        inst = instance_for(2, 5)
+        assert inst.P_minus_1 == 1
+        assert sum(inst.block_sizes.values()) == 0
+
+    def test_t_equals_L(self):
+        # first nontrivial tree: root + one leaf
+        inst = instance_for(5, 5)
+        assert inst.P_minus_1 == 2
+        assert dict(inst.block_sizes) == {1: 1}
+
+
+class TestCountingEdges:
+    def test_deadline_zero(self):
+        assert kitem_items_by_deadline(10, 3, 0) == 0
+
+    def test_one_item_needs_full_broadcast(self):
+        for L in (1, 2, 3, 5):
+            for P in (2, 5, 13):
+                lb = kitem_lower_bound(P, L, 1)
+                # the true single-item optimum B(P) is within the bound
+                assert lb <= broadcast_time(P, postal(P=P, L=L))
+
+    def test_lower_bound_monotone_in_k(self):
+        vals = [kitem_lower_bound(10, 3, k) for k in range(1, 20)]
+        assert vals == sorted(vals)
+
+
+class TestSummationEdges:
+    def test_capacity_with_tiny_budgets(self):
+        p = postal(P=2, L=1)
+        # t=1 can't even fit the child's send (latency L+1=2): infeasible
+        with pytest.raises(ValueError):
+            summation_capacity(1, p)
+        # t=3: child sends at 1, root merges at 3; both chains contribute
+        assert summation_capacity(3, p) >= 3
+
+    def test_min_time_prefers_subsets(self):
+        # adding processors must never hurt (the planner may ignore them)
+        p_small = LogPParams(P=2, L=5, o=1, g=2)
+        p_big = LogPParams(P=16, L=5, o=1, g=2)
+        for n in (3, 10, 40):
+            assert min_summation_time(n, p_big) <= min_summation_time(n, p_small)
+
+
+class TestTreeUniqueness:
+    def test_full_trees_are_deterministic(self):
+        a = tree_for_time(9, postal(P=1, L=3))
+        b = tree_for_time(9, postal(P=1, L=3))
+        assert a.delays() == b.delays()
+        assert [n.children for n in a.nodes] == [n.children for n in b.nodes]
+
+    def test_optimal_tree_subset_of_universal(self):
+        # every delay in B(P) appears in the full tree for its horizon
+        p = postal(P=17, L=3)
+        tree = optimal_tree(p)
+        t = tree.completion_time
+        full = tree_for_time(t, postal(P=1, L=3))
+        from collections import Counter
+
+        small = Counter(tree.delays())
+        big = Counter(full.delays())
+        assert all(small[d] <= big[d] for d in small)

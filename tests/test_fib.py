@@ -1,0 +1,148 @@
+"""Tests for the generalized Fibonacci machinery (Section 2 / Defn 2.5)."""
+
+import pytest
+
+from repro.core.fib import (
+    broadcast_time,
+    broadcast_time_postal,
+    fib,
+    fib_sequence,
+    k_star,
+    kitem_lower_bound,
+    node_census,
+    reachable,
+    reachable_postal,
+    single_sending_lower_bound,
+)
+from repro.params import LogPParams, postal
+
+
+class TestFibSequence:
+    def test_paper_L3_values(self):
+        # the L=3 sequence underlying Figure 2 (P(7) = 9, P(11) = 41)
+        assert fib_sequence(3, 11) == [1, 1, 1, 2, 3, 4, 6, 9, 13, 19, 28, 41]
+
+    def test_L1_is_powers_of_two(self):
+        assert fib_sequence(1, 6) == [1, 2, 4, 8, 16, 32, 64]
+
+    def test_L2_is_fibonacci(self):
+        assert fib_sequence(2, 8) == [1, 1, 2, 3, 5, 8, 13, 21, 34]
+
+    def test_recurrence_holds(self):
+        for L in (2, 3, 5, 7):
+            seq = fib_sequence(L, 30)
+            for i in range(L, 31):
+                assert seq[i] == seq[i - 1] + seq[i - L]
+
+    def test_prefix_sum_identity_fact_21(self):
+        # Fact 2.1: 1 + sum_{i<=t} f_i = f_{t+L}
+        for L in (1, 2, 3, 4, 6):
+            seq = fib_sequence(L, 25 + L)
+            for t in range(20):
+                assert 1 + sum(seq[: t + 1]) == seq[t + L]
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            fib_sequence(0, 5)
+        with pytest.raises(ValueError):
+            fib_sequence(3, -1)
+
+
+class TestReachable:
+    def test_theorem_22_postal(self):
+        # P(t; L, 0, 1) = f_t
+        for L in (1, 2, 3, 5):
+            for t in range(12):
+                assert reachable_postal(t, L) == fib(L, t)
+
+    def test_general_matches_postal_when_postal(self):
+        for L in (1, 2, 3, 5):
+            p = postal(P=1, L=L)
+            for t in range(10):
+                assert reachable(t, p) == reachable_postal(t, L)
+
+    def test_fig1_machine(self):
+        # P=8, L=6, g=4, o=2 reaches 8 processors at exactly t=24
+        p = LogPParams(P=8, L=6, o=2, g=4)
+        assert reachable(24, p) == 8
+        assert reachable(23, p) < 8
+
+    def test_node_census_sums_to_reachable(self):
+        p = LogPParams(P=1, L=4, o=1, g=2)
+        for t in (0, 5, 13):
+            assert sum(node_census(t, p)) == reachable(t, p)
+
+    def test_census_at_zero(self):
+        assert node_census(0, postal(P=1, L=3)) == [1]
+
+
+class TestBroadcastTime:
+    def test_is_inverse_of_reachable(self):
+        for L in (1, 2, 3, 4):
+            for P in range(1, 40):
+                t = broadcast_time_postal(P, L)
+                assert reachable_postal(t, L) >= P
+                if t > 0:
+                    assert reachable_postal(t - 1, L) < P
+
+    def test_paper_values(self):
+        assert broadcast_time_postal(9, 3) == 7  # Figure 2's T9
+        assert broadcast_time_postal(41, 3) == 11  # Figure 3's tree
+        assert broadcast_time_postal(13, 3) == 8  # Figure 5's machine
+
+    def test_general_logp_fig1(self):
+        assert broadcast_time(8, LogPParams(P=8, L=6, o=2, g=4)) == 24
+
+    def test_single_processor_is_free(self):
+        assert broadcast_time_postal(1, 5) == 0
+        assert broadcast_time(1, LogPParams(P=1, L=5, o=2, g=3)) == 0
+
+    def test_monotone_in_P(self):
+        p = LogPParams(P=1, L=3, o=1, g=2)
+        times = [broadcast_time(P, p) for P in range(1, 30)]
+        assert times == sorted(times)
+
+
+class TestKStar:
+    def test_paper_example(self):
+        # Figure 2 discussion: P=10, L=3 has k* = 2
+        assert k_star(10, 3) == 2
+
+    def test_bounded_by_L(self):
+        # the paper proves k* <= L (k* = 0 is possible when P-1 = f_{n+1})
+        for L in (1, 2, 3, 4, 5):
+            for P in range(3, 60):
+                assert 0 <= k_star(P, L) <= L
+
+    def test_two_processors(self):
+        assert k_star(2, 3) == 1
+
+    def test_rejects_P1(self):
+        with pytest.raises(ValueError):
+            k_star(1, 3)
+
+
+class TestKItemBounds:
+    def test_fig2_lower_bound(self):
+        # B(9)+L+(k-1)-k* = 7+3+7-2 = 15 for k=8, P=10, L=3
+        assert kitem_lower_bound(10, 3, 8) == 15
+
+    def test_single_sending_dominates_general(self):
+        for L in (1, 2, 3, 4):
+            for P in (3, 5, 10, 20):
+                for k in (1, 2, 5, 10):
+                    assert single_sending_lower_bound(P, L, k) >= kitem_lower_bound(P, L, k)
+
+    def test_gap_is_exactly_kstar_minus_something(self):
+        # single-sending LB - general LB = k* when k >= k*
+        for L in (2, 3, 4):
+            for P in (5, 10, 17):
+                ks = k_star(P, L)
+                k = ks + 3
+                diff = single_sending_lower_bound(P, L, k) - kitem_lower_bound(P, L, k)
+                assert diff == ks
+
+    def test_k1_matches_single_item(self):
+        for L in (1, 2, 3):
+            for P in (3, 7, 12):
+                assert single_sending_lower_bound(P, L, 1) == broadcast_time_postal(P - 1, L) + L

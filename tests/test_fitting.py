@@ -1,0 +1,69 @@
+"""Tests for LogP parameter fitting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fitting import Measurements, fit_logp, simulate_measurements
+from repro.params import LogPParams
+
+
+class TestNoiseless:
+    @pytest.mark.parametrize("machine", [
+        LogPParams(P=8, L=6, o=2, g=4),
+        LogPParams(P=16, L=12, o=1, g=2),
+        LogPParams(P=4, L=40, o=8, g=9),
+        LogPParams(P=32, L=3, o=0, g=1),
+    ])
+    def test_exact_recovery(self, machine):
+        data = simulate_measurements(machine)
+        fitted = fit_logp(data, P=machine.P)
+        assert fitted == machine
+
+    def test_postal_machine(self):
+        machine = LogPParams(P=10, L=3, o=0, g=1)
+        assert fit_logp(simulate_measurements(machine), P=10) == machine
+
+
+class TestNoisy:
+    def test_small_noise_still_recovers(self):
+        machine = LogPParams(P=8, L=20, o=2, g=5)
+        data = simulate_measurements(machine, noise=0.3, seed=11, trials=200)
+        fitted = fit_logp(data, P=8)
+        assert fitted == machine
+
+    def test_moderate_noise_close(self):
+        machine = LogPParams(P=8, L=30, o=3, g=6)
+        data = simulate_measurements(machine, noise=1.0, seed=5, trials=400)
+        fitted = fit_logp(data, P=8)
+        assert abs(fitted.L - machine.L) <= 2
+        assert abs(fitted.g - machine.g) <= 1
+        assert abs(fitted.o - machine.o) <= 1
+
+
+class TestProperties:
+    @given(
+        L=st.integers(1, 40),
+        o=st.integers(0, 5),
+        g=st.integers(1, 8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, L, o, g):
+        o = min(o, g)
+        machine = LogPParams(P=8, L=L, o=o, g=g)
+        fitted = fit_logp(simulate_measurements(machine), P=8)
+        assert fitted == machine
+
+    def test_fit_respects_model_bounds(self):
+        # even garbage data yields a *valid* LogPParams
+        import numpy as np
+
+        garbage = Measurements(
+            pingpong=np.array([1.0, 2.0]),
+            burst_sizes=np.array([1, 2, 3]),
+            burst_times=np.array([5.0, 5.1, 5.3]),
+            probe_grains=np.array([0, 1, 2]),
+            probe_costs=np.array([1.0, 1.0, 1.0]),
+        )
+        fitted = fit_logp(garbage, P=4)
+        assert fitted.L >= 1 and 0 <= fitted.o <= fitted.g

@@ -1,0 +1,71 @@
+"""Dedicated tests for the general word-assignment solver."""
+
+import pytest
+
+from repro.core.continuous.assignment import solve_instance
+from repro.core.continuous.general import solve_general_words
+from repro.core.continuous.relative import instance_for
+from repro.core.kitem.star import star_tree
+from repro.core.tree import tree_for_time
+from repro.params import postal
+
+
+class TestAgreementWithStandardSolver:
+    @pytest.mark.parametrize("t,L", [(5, 3), (7, 3), (9, 4), (10, 5)])
+    def test_solvability_agrees(self, t, L):
+        tree = tree_for_time(t, postal(P=1, L=L))
+        general = solve_general_words(tree, L)
+        standard = solve_instance(instance_for(t, L))
+        assert (general is None) == (standard is None)
+        if general is not None:
+            assert general.delay == L + t
+
+    def test_l4_t8_infeasible_in_general_form_too(self):
+        tree = tree_for_time(8, postal(P=1, L=4))
+        assert solve_general_words(tree, 4) is None
+
+
+class TestBudget:
+    def test_unbudgeted_is_exhaustive(self):
+        # None result without a budget is a proof of infeasibility
+        tree = tree_for_time(6, postal(P=1, L=2))
+        assert solve_general_words(tree, 2) is None
+
+    def test_budget_zero_gives_up_gracefully(self):
+        tree = tree_for_time(7, postal(P=1, L=3))
+        result = solve_general_words(tree, 3, budget=0)
+        assert result is None  # gave up, not crashed
+
+    def test_budget_large_enough_solves(self):
+        tree = tree_for_time(7, postal(P=1, L=3))
+        assert solve_general_words(tree, 3, budget=10**6) is not None
+
+
+class TestStarTrees:
+    def test_small_star_solvable_by_search(self):
+        # the DFS finds star assignments for small n (the closed form
+        # exists for all n; this checks the two agree on feasibility)
+        tree = star_tree(8, 12)
+        result = solve_general_words(tree, 12, budget=500_000)
+        assert result is not None
+        assert result.completion == tree.completion_time
+
+    def test_receive_only_is_single_letter(self):
+        tree = tree_for_time(7, postal(P=1, L=3))
+        result = solve_general_words(tree, 3)
+        assert len(result.receive_only) == 1
+
+
+class TestValidationHooks:
+    def test_cover_mismatch_detected(self):
+        from repro.core.continuous.schedule import GBlock, GeneralAssignment
+
+        tree = tree_for_time(7, postal(P=1, L=3))
+        bogus = GeneralAssignment(
+            tree=tree,
+            L=3,
+            blocks=[GBlock(upper_delay=0, size=5, word=(7, 7, 7, 7))],
+            receive_only=(7,),
+        )
+        with pytest.raises(ValueError):
+            bogus.validate()

@@ -1,0 +1,79 @@
+"""Tests for the LogGP long-message segmentation planner."""
+
+import pytest
+
+from repro.loggp import LogGPParams, plan_broadcast, segment_sweep
+
+
+class TestParams:
+    def test_spacing_and_latency(self):
+        m = LogGPParams(P=8, L=20, o=2, g=4, G=1)
+        assert m.segment_spacing(1) == 4          # gap dominates tiny segments
+        assert m.segment_spacing(100) == 2 + 99   # bytes dominate big ones
+        assert m.segment_latency(1) == 24
+        assert m.segment_latency(10) == 33
+
+    def test_rejects_negative_G(self):
+        with pytest.raises(ValueError):
+            LogGPParams(P=4, L=5, o=1, g=2, G=-1)
+
+
+class TestPlanner:
+    def test_single_byte_is_plain_broadcast(self):
+        m = LogGPParams(P=8, L=10, o=1, g=2, G=1)
+        plan = plan_broadcast(m, 1)
+        assert plan.segments == 1
+
+    def test_large_messages_segment(self):
+        m = LogGPParams(P=16, L=20, o=2, g=4, G=1)
+        plan = plan_broadcast(m, 4096)
+        assert plan.segments > 1
+
+    def test_segmentation_improves_large_messages(self):
+        m = LogGPParams(P=16, L=20, o=2, g=4, G=1)
+        rows = segment_sweep(m, 2048, max_segments=16)
+        single = next(r for r in rows if r["segments"] == 1)
+        best = min(r["cycles"] for r in rows)
+        assert best < single["cycles"] / 2  # pipelining at least halves it
+
+    def test_zero_G_prefers_moderate_segments(self):
+        # with G = 0 every segment costs the same: more segments never help
+        # beyond per-item pipelining of the fixed latency
+        m = LogGPParams(P=8, L=6, o=1, g=2, G=0)
+        plan = plan_broadcast(m, 100)
+        # all segment sizes give k items of identical cost; the planner
+        # should pick k=1 (one send of the whole message dominates)
+        assert plan.segments == 1
+
+    def test_plan_monotone_in_message_size(self):
+        m = LogGPParams(P=8, L=15, o=2, g=3, G=1)
+        times = [plan_broadcast(m, M).completion_cycles for M in (8, 64, 256, 1024)]
+        assert times == sorted(times)
+
+    def test_schedule_validated(self):
+        m = LogGPParams(P=10, L=12, o=1, g=2, G=1)
+        plan = plan_broadcast(m, 300)
+        # plan_broadcast replays the winning schedule internally; verify
+        # the schedule's item count matches the segmentation
+        items = {op.item for op in plan.schedule.sends}
+        assert len(items) == plan.segments
+
+    def test_rejects_empty_message(self):
+        with pytest.raises(ValueError):
+            plan_broadcast(LogGPParams(P=4, L=5, o=1, g=2, G=1), 0)
+
+
+class TestSweep:
+    def test_rows_cover_distinct_sizes(self):
+        m = LogGPParams(P=8, L=10, o=1, g=2, G=2)
+        rows = segment_sweep(m, 64, max_segments=10)
+        sizes = [r["segment_bytes"] for r in rows]
+        assert len(sizes) == len(set(sizes))
+
+    def test_tradeoff_shape(self):
+        # completion as a function of segment count should fall then rise
+        # (or at least not be monotone increasing from k=1)
+        m = LogGPParams(P=16, L=30, o=3, g=4, G=2)
+        rows = segment_sweep(m, 512, max_segments=24)
+        cycles = [r["cycles"] for r in rows]
+        assert min(cycles) < cycles[0]

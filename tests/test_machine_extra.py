@@ -1,0 +1,126 @@
+"""Additional reactive-machine and simulator behaviors."""
+
+import pytest
+
+from repro.params import LogPParams, postal
+from repro.schedule.analysis import availability, broadcast_delay_per_proc
+from repro.sim.machine import Context, Machine, replay
+
+
+class Relay:
+    """Forward every received item to a fixed next hop."""
+
+    def __init__(self, nxt: int | None):
+        self.nxt = nxt
+
+    def on_start(self, ctx: Context) -> None:
+        if ctx.has("token") and self.nxt is not None:
+            ctx.send(self.nxt, "token")
+
+    def on_receive(self, ctx: Context, item, src) -> None:
+        if self.nxt is not None:
+            ctx.send(self.nxt, item)
+
+
+class MultiSender:
+    """Send several items back to back to the same destination."""
+
+    def on_start(self, ctx: Context) -> None:
+        for item in ("a", "b", "c"):
+            if ctx.has(item):
+                ctx.send(1, item)
+
+    def on_receive(self, ctx, item, src) -> None:
+        pass
+
+
+class TestRingRelay:
+    def test_token_circles_the_ring(self):
+        P = 5
+        params = postal(P=P, L=2)
+        programs = {p: Relay((p + 1) % P if p != P - 1 else None) for p in range(P)}
+        machine = Machine(params, programs, initial={0: {"token"}})
+        schedule = machine.run()
+        replay(schedule)
+        av = availability(schedule)
+        # token reaches p at hop distance p, each hop costing L
+        for p in range(1, P):
+            assert av[(p, "token")] == 2 * p
+
+    def test_held_items_visible(self):
+        params = postal(P=3, L=1)
+        machine = Machine(params, {0: Relay(1), 1: Relay(2), 2: Relay(None)},
+                          initial={0: {"token"}})
+        machine.run()
+        assert "token" in machine.held(2)
+
+
+class TestGapEnforcement:
+    def test_sends_spaced_by_gap(self):
+        params = LogPParams(P=2, L=4, o=1, g=3)
+        machine = Machine(params, {0: MultiSender()},
+                          initial={0: {"a", "b", "c"}})
+        schedule = machine.run()
+        replay(schedule)
+        times = sorted(op.time for op in schedule.sends)
+        assert all(b - a >= 3 for a, b in zip(times, times[1:]))
+
+    def test_receive_slots_booked_apart(self):
+        # two senders targeting one receiver: arrivals must be >= g apart
+        class SendTo2:
+            def on_start(self, ctx):
+                if ctx.held_items():
+                    ctx.send(2, next(iter(ctx.held_items())))
+
+            def on_receive(self, ctx, item, src):
+                pass
+
+        params = LogPParams(P=3, L=5, o=1, g=2)
+        machine = Machine(
+            params,
+            {0: SendTo2(), 1: SendTo2()},
+            initial={0: {"x"}, 1: {"y"}},
+        )
+        schedule = machine.run()
+        replay(schedule)  # strict validator: receive gap respected
+
+    def test_context_reports_params(self):
+        params = postal(P=2, L=1)
+        seen = []
+
+        class Peek:
+            def on_start(self, ctx):
+                seen.append(ctx.params)
+
+            def on_receive(self, ctx, item, src):
+                pass
+
+        Machine(params, {0: Peek()}).run()
+        assert seen == [params]
+
+
+class TestErrorPaths:
+    def test_out_of_range_destination(self):
+        class Bad:
+            def on_start(self, ctx):
+                ctx.send(99, 0)
+
+            def on_receive(self, ctx, item, src):
+                pass
+
+        with pytest.raises(ValueError, match="out of range"):
+            Machine(postal(P=2, L=1), {0: Bad()}).run()
+
+    def test_cycle_guard(self):
+        class Pingpong:
+            def on_start(self, ctx):
+                if ctx.proc == 0:
+                    ctx.send(1, ("ball", 0))
+
+            def on_receive(self, ctx, item, src):
+                _tag, n = item
+                ctx.send(src, ("ball", n + 1))  # bounce forever
+
+        with pytest.raises(RuntimeError, match="exceeded"):
+            Machine(postal(P=2, L=1), {0: Pingpong(), 1: Pingpong()},
+                    max_cycles=200).run()

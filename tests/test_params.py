@@ -1,0 +1,69 @@
+"""Tests for the LogP parameter bundle."""
+
+import math
+
+import pytest
+
+from repro.params import LogPParams, postal
+
+
+class TestConstruction:
+    def test_basic_fields(self):
+        p = LogPParams(P=8, L=6, o=2, g=4)
+        assert (p.P, p.L, p.o, p.g) == (8, 6, 2, 4)
+
+    def test_defaults_are_postal(self):
+        p = LogPParams(P=4, L=3)
+        assert p.o == 0 and p.g == 1
+        assert p.is_postal
+
+    def test_postal_helper(self):
+        p = postal(P=10, L=3)
+        assert p == LogPParams(P=10, L=3, o=0, g=1)
+
+    @pytest.mark.parametrize("field,value", [
+        ("P", 0), ("P", -1), ("L", 0), ("o", -1), ("g", 0),
+    ])
+    def test_rejects_out_of_range(self, field, value):
+        kwargs = dict(P=4, L=3, o=1, g=2)
+        kwargs[field] = value
+        with pytest.raises(ValueError):
+            LogPParams(**kwargs)
+
+    @pytest.mark.parametrize("field", ["P", "L", "o", "g"])
+    def test_rejects_non_int(self, field):
+        kwargs = dict(P=4, L=3, o=1, g=2)
+        kwargs[field] = 2.5
+        with pytest.raises(TypeError):
+            LogPParams(**kwargs)
+
+    def test_frozen(self):
+        p = postal(P=4, L=2)
+        with pytest.raises(AttributeError):
+            p.P = 5
+
+
+class TestDerived:
+    def test_send_cost(self):
+        assert LogPParams(P=8, L=6, o=2, g=4).send_cost == 10
+        assert postal(P=4, L=3).send_cost == 3
+
+    @pytest.mark.parametrize("L,g,expected", [(6, 4, 2), (3, 1, 3), (4, 4, 1), (5, 2, 3)])
+    def test_capacity_is_ceil_L_over_g(self, L, g, expected):
+        assert LogPParams(P=4, L=L, o=0, g=g).capacity == expected
+        assert LogPParams(P=4, L=L, o=0, g=g).capacity == math.ceil(L / g)
+
+    def test_to_postal_folds_overhead(self):
+        p = LogPParams(P=8, L=6, o=2, g=2)
+        q = p.to_postal()
+        assert q.L == 10 and q.o == 0 and q.g == 1 and q.P == 8
+
+    def test_rejects_overhead_dominated(self):
+        with pytest.raises(ValueError, match="o must be <= g"):
+            LogPParams(P=8, L=6, o=2, g=1)
+
+    def test_with_processors(self):
+        p = LogPParams(P=8, L=6, o=2, g=4)
+        q = p.with_processors(16)
+        assert q.P == 16 and (q.L, q.o, q.g) == (p.L, p.o, p.g)
+        assert p.P == 8  # original untouched

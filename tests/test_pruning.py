@@ -1,0 +1,76 @@
+"""Tests for tree pruning and candidate generation."""
+
+import pytest
+
+from repro.core.fib import broadcast_time_postal, reachable_postal
+from repro.core.pruning import candidate_trees, prune_to_size
+from repro.core.continuous.general import solve_general_words
+from repro.params import postal
+
+
+def latest_chooser(options):
+    return max(options)
+
+
+class TestPruneToSize:
+    def test_exact_size(self):
+        for L in (2, 3):
+            for T in (6, 8):
+                full = reachable_postal(T, L)
+                for size in (full, full - 1, full - 3, max(2, full // 2)):
+                    tree = prune_to_size(T, L, size, latest_chooser)
+                    assert tree is not None and len(tree) == size
+
+    def test_pruned_tree_validates(self):
+        tree = prune_to_size(8, 3, 10, latest_chooser)
+        tree.validate()  # consecutive-children labeling preserved
+
+    def test_target_larger_than_full_returns_none(self):
+        assert prune_to_size(4, 3, 100, latest_chooser) is None
+
+    def test_completion_within_T(self):
+        tree = prune_to_size(9, 3, 12, latest_chooser)
+        assert tree.completion_time <= 9
+
+
+class TestCandidateTrees:
+    @pytest.mark.parametrize("size,L", [(7, 2), (11, 3), (14, 4)])
+    def test_candidates_have_right_size(self, size, L):
+        t = broadcast_time_postal(size, L)
+        for tree in candidate_trees(size, L, t + 1):
+            assert len(tree) == size
+            assert tree.completion_time <= t + 1
+            tree.validate()
+
+    def test_greedy_tree_first_when_it_fits(self):
+        size, L = 9, 3
+        t = broadcast_time_postal(size, L)
+        first = next(iter(candidate_trees(size, L, t)))
+        assert first.completion_time == t
+
+    def test_candidates_deterministic(self):
+        a = [t.delays() for t in candidate_trees(10, 3, 8)]
+        b = [t.delays() for t in candidate_trees(10, 3, 8)]
+        assert a == b
+
+
+class TestGeneralSolverOnPrunedTrees:
+    def test_solves_unique_optimal_tree(self):
+        # for P-1 = P(t) the general solver agrees with the standard one
+        tree = prune_to_size(7, 3, 9, latest_chooser)
+        a = solve_general_words(tree, 3)
+        assert a is not None
+        assert a.delay == 10
+
+    def test_budget_limits_work(self):
+        tree = prune_to_size(8, 3, 13, latest_chooser)
+        # tiny budget may fail, but must not crash
+        result = solve_general_words(tree, 3, budget=1)
+        assert result is None or result.delay == 11
+
+    def test_exhaustive_none_is_proof(self):
+        # L=2, t=7 optimal tree has no assignment (Theorem 3.4 regime)
+        from repro.core.tree import tree_for_time
+
+        tree = tree_for_time(7, postal(P=1, L=2))
+        assert solve_general_words(tree, 2) is None

@@ -1,0 +1,83 @@
+"""Tests for optimal single-item broadcast (Section 2, Theorem 2.1)."""
+
+import pytest
+
+from repro.core.fib import broadcast_time
+from repro.core.single_item import (
+    optimal_broadcast_schedule,
+    optimal_broadcast_time,
+    schedule_from_tree,
+)
+from repro.core.tree import optimal_tree
+from repro.params import LogPParams, postal
+from repro.schedule.analysis import broadcast_delay_per_proc
+from tests.conftest import assert_broadcast_complete
+
+
+class TestOptimalSchedule:
+    def test_fig1_completion(self, fig1_params):
+        delays = assert_broadcast_complete(
+            optimal_broadcast_schedule(fig1_params), P=8
+        )
+        assert max(delays.values()) == 24
+        assert sorted(delays.values()) == [0, 10, 14, 18, 20, 22, 24, 24]
+
+    @pytest.mark.parametrize("params", [
+        postal(P=2, L=1),
+        postal(P=9, L=3),
+        postal(P=41, L=3),
+        LogPParams(P=8, L=6, o=2, g=4),
+        LogPParams(P=16, L=4, o=1, g=2),
+        LogPParams(P=25, L=2, o=0, g=3),
+    ])
+    def test_completion_equals_B(self, params):
+        delays = assert_broadcast_complete(
+            optimal_broadcast_schedule(params), P=params.P
+        )
+        assert max(delays.values()) == broadcast_time(params.P, params)
+
+    def test_every_proc_receives_once(self):
+        params = postal(P=20, L=3)
+        schedule = optimal_broadcast_schedule(params)
+        targets = [op.dst for op in schedule.sends]
+        assert sorted(targets) == list(range(1, 20))
+
+    def test_delays_match_tree_labels(self):
+        params = LogPParams(P=12, L=5, o=1, g=3)
+        tree = optimal_tree(params)
+        schedule = optimal_broadcast_schedule(params)
+        delays = broadcast_delay_per_proc(schedule)
+        for node in tree.nodes:
+            assert delays[node.index] == node.delay
+
+    def test_single_proc_empty(self):
+        schedule = optimal_broadcast_schedule(postal(P=1, L=3))
+        assert len(schedule) == 0
+
+    def test_optimal_time_helper(self, fig1_params):
+        assert optimal_broadcast_time(fig1_params) == 24
+
+
+class TestScheduleFromTree:
+    def test_start_time_shift(self):
+        params = postal(P=4, L=2)
+        tree = optimal_tree(params)
+        shifted = schedule_from_tree(tree, start_time=10)
+        delays = broadcast_delay_per_proc(shifted)
+        base = broadcast_delay_per_proc(schedule_from_tree(tree))
+        assert {p: d - 10 for p, d in delays.items() if p != 0} == {
+            p: d for p, d in base.items() if p != 0
+        }
+
+    def test_proc_map(self):
+        params = postal(P=4, L=2)
+        tree = optimal_tree(params)
+        mapping = {0: 3, 1: 2, 2: 1, 3: 0}
+        schedule = schedule_from_tree(tree, proc_map=mapping)
+        delays = broadcast_delay_per_proc(schedule)
+        assert delays[3] == 0  # the root is now processor 3
+
+    def test_custom_item_label(self):
+        params = postal(P=3, L=2)
+        schedule = schedule_from_tree(optimal_tree(params), item="msg")
+        assert all(op.item == "msg" for op in schedule.sends)

@@ -1,0 +1,115 @@
+"""Tests for the universal optimal broadcast tree (Definitions 2.3/2.4)."""
+
+import networkx as nx
+import pytest
+
+from repro.core.fib import broadcast_time, reachable
+from repro.core.tree import optimal_tree, tree_for_time
+from repro.params import LogPParams, postal
+
+
+class TestOptimalTree:
+    def test_fig1_shape(self, fig1_params):
+        tree = optimal_tree(fig1_params)
+        assert sorted(tree.delays()) == [0, 10, 14, 18, 20, 22, 24, 24]
+        assert tree.completion_time == 24
+
+    def test_root_is_node_zero(self, fig1_params):
+        tree = optimal_tree(fig1_params)
+        assert tree.root.delay == 0 and tree.root.parent is None
+
+    def test_completion_equals_broadcast_time(self):
+        for P in (1, 2, 3, 5, 9, 17, 33):
+            for params in (
+                postal(P=P, L=3),
+                LogPParams(P=P, L=6, o=2, g=4),
+                LogPParams(P=P, L=2, o=1, g=2),
+            ):
+                tree = optimal_tree(params)
+                assert tree.completion_time == broadcast_time(P, params)
+
+    def test_validate_accepts_own_trees(self):
+        for P in (1, 2, 7, 20):
+            optimal_tree(postal(P=P, L=4)).validate()
+
+    def test_children_ordered_by_delay(self):
+        tree = optimal_tree(postal(P=30, L=3))
+        for node in tree.nodes:
+            delays = [tree.nodes[c].delay for c in node.children]
+            assert delays == sorted(delays)
+
+    def test_child_labeling_rule(self):
+        # child j of a node at delay d sits at d + j*g + L + 2o
+        params = LogPParams(P=20, L=5, o=1, g=3)
+        tree = optimal_tree(params)
+        for node in tree.nodes:
+            for j, c in enumerate(node.children):
+                assert tree.nodes[c].delay == node.delay + j * params.g + params.send_cost
+
+    def test_single_node(self):
+        tree = optimal_tree(postal(P=1, L=3))
+        assert len(tree) == 1 and tree.root.is_leaf
+
+
+class TestTreeForTime:
+    def test_t9_matches_paper(self):
+        # Figure 2's T9: L=3, t=7 -> 9 nodes, delays and degrees as printed
+        t9 = tree_for_time(7, postal(P=1, L=3))
+        assert len(t9) == 9
+        assert sorted(t9.delays()) == [0, 3, 4, 5, 6, 6, 7, 7, 7]
+        assert t9.out_degree_census() == {5: 1, 2: 1, 1: 1, 0: 6}
+
+    def test_size_is_reachable(self):
+        for L in (1, 2, 3, 5):
+            p = postal(P=1, L=L)
+            for t in range(10):
+                assert len(tree_for_time(t, p)) == reachable(t, p)
+
+    def test_general_logp(self):
+        p = LogPParams(P=1, L=6, o=2, g=4)
+        tree = tree_for_time(24, p)
+        assert len(tree) == 8
+        tree.validate()
+
+    def test_internal_iff_delay_small(self):
+        # postal: a node is internal iff delay <= t - L
+        t, L = 9, 3
+        tree = tree_for_time(t, postal(P=1, L=L))
+        for node in tree.nodes:
+            assert bool(node.children) == (node.delay <= t - L)
+
+    def test_degree_formula(self):
+        # internal node at delay d has t - d - L + 1 children (postal)
+        t, L = 10, 4
+        tree = tree_for_time(t, postal(P=1, L=L))
+        for node in tree.internal_nodes():
+            assert node.out_degree == t - node.delay - L + 1
+
+    def test_rejects_negative_t(self):
+        with pytest.raises(ValueError):
+            tree_for_time(-1, postal(P=1, L=3))
+
+
+class TestConversions:
+    def test_networkx_roundtrip(self):
+        tree = optimal_tree(postal(P=12, L=3))
+        g = tree.to_networkx()
+        assert g.number_of_nodes() == 12
+        assert g.number_of_edges() == 11
+        assert nx.is_arborescence(g)
+        for node in tree.nodes:
+            assert g.nodes[node.index]["delay"] == node.delay
+
+    def test_child_rank(self):
+        tree = tree_for_time(7, postal(P=1, L=3))
+        for node in tree.nodes:
+            for j, c in enumerate(node.children):
+                assert tree.child_rank(c) == j
+        with pytest.raises(ValueError):
+            tree.child_rank(0)  # the root
+
+    def test_censuses_consistent(self):
+        tree = tree_for_time(8, postal(P=1, L=3))
+        assert sum(tree.delay_census().values()) == len(tree)
+        assert sum(tree.out_degree_census().values()) == len(tree)
+        assert len(tree.leaves()) + len(tree.internal_nodes()) == len(tree)

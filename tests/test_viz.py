@@ -1,0 +1,81 @@
+"""Tests for the ASCII renderers."""
+
+from repro.core.kitem.blocks import block_transmission_digraph
+from repro.core.kitem.buffered import buffered_schedule
+from repro.core.single_item import optimal_broadcast_schedule
+from repro.core.tree import optimal_tree, tree_for_time
+from repro.params import LogPParams, postal
+from repro.sim.trace import trace_from_schedule
+from repro.viz.ascii import render_activity, render_schedule_activity, render_tree
+from repro.viz.digraph import render_digraph
+from repro.viz.tables import (
+    buffered_reception_table,
+    reception_table,
+    render_reception_table,
+)
+
+
+class TestTreeRendering:
+    def test_all_nodes_present(self):
+        tree = optimal_tree(LogPParams(P=8, L=6, o=2, g=4))
+        out = render_tree(tree)
+        for i in range(8):
+            assert f"P{i} " in out or f"P{i}\n" in out or out.endswith(f"P{i}")
+        assert "@0" in out and "@24" in out
+
+    def test_indentation_reflects_depth(self):
+        tree = tree_for_time(7, postal(P=1, L=3))
+        lines = render_tree(tree).splitlines()
+        assert lines[0].startswith("P0")
+        assert lines[1].startswith("  P")  # children indented
+
+
+class TestActivityRendering:
+    def test_fig1_timeline(self):
+        s = optimal_broadcast_schedule(LogPParams(P=8, L=6, o=2, g=4))
+        out = render_schedule_activity(s)
+        lines = out.splitlines()
+        assert len(lines) == 9  # header + 8 processors
+        # root sends four times: 4 's' pairs (o=2)
+        root_row = next(l for l in lines if l.startswith("P0"))
+        assert root_row.count("s") == 8
+
+    def test_symbols(self):
+        s = optimal_broadcast_schedule(postal(P=3, L=2))
+        out = render_activity(trace_from_schedule(s))
+        assert "s" in out and "r" in out
+
+
+class TestReceptionTables:
+    def test_round_trip(self):
+        s = optimal_broadcast_schedule(postal(P=4, L=2))
+        table = reception_table(s)
+        out = render_reception_table(table)
+        assert "time" in out and "P1" in out
+
+    def test_active_marking(self):
+        s = optimal_broadcast_schedule(postal(P=4, L=2))
+        table = reception_table(s, actives={(1, 0)})
+        flattened = [e for row in table.values() for e in row.values()]
+        assert "(0)" in flattened
+
+    def test_buffered_table_marks_delays(self):
+        bs = buffered_schedule(14, 8, 3)
+        table = buffered_reception_table(bs)
+        entries = [e for row in table.values() for e in row.values()]
+        assert any(e.startswith("(") for e in entries)  # active
+        assert any(e.startswith("[") for e in entries)  # delayed
+
+    def test_empty_table(self):
+        assert render_reception_table({}) == "(empty)"
+
+
+class TestDigraphRendering:
+    def test_fig3_text(self):
+        g = block_transmission_digraph(11, 3)
+        out = render_digraph(g)
+        assert "src" in out
+        assert "==>" in out  # active edges
+        assert "-->" in out  # inactive edges
+        assert "recv-only(0)" in out
+        assert "r=9" in out

@@ -1,0 +1,89 @@
+"""Tests for workload-trace planning and the SVG renderer."""
+
+import pytest
+
+from repro.core.single_item import optimal_broadcast_schedule
+from repro.params import LogPParams, postal
+from repro.viz.svg import save_svg, schedule_to_svg
+from repro.workload import CollectiveOp, WorkloadTrace, plan_workload
+
+
+class TestTrace:
+    def test_builder(self):
+        trace = WorkloadTrace("app", postal(P=9, L=3))
+        trace.add("bcast", count=3).add("allreduce").add("compute", arg=100)
+        assert trace.total_ops() == 5
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(ValueError):
+            CollectiveOp("bcast", count=0)
+
+
+class TestPlanning:
+    def trace(self):
+        t = WorkloadTrace("cg-solver", postal(P=9, L=3))
+        t.add("bcast", count=2)
+        t.add("allreduce", count=10)  # dot products per iteration
+        t.add("kitem_bcast", count=1, arg=6)
+        t.add("compute", count=1, arg=500)
+        return t
+
+    def test_totals_add_up(self):
+        report = plan_workload(self.trace())
+        assert report.optimal_total == sum(r["optimal"] for r in report.rows)
+        assert report.baseline_total == sum(r["baseline"] for r in report.rows)
+
+    def test_optimal_never_worse(self):
+        report = plan_workload(self.trace())
+        for row in report.rows:
+            assert row["optimal"] <= row["baseline"], row
+        assert report.speedup >= 1.0
+
+    def test_allreduce_dominant_savings(self):
+        # P = 9 = P(7) for L=3: combining (7 steps) vs binomial
+        # reduce-then-broadcast (2 x 10 steps) — nearly 3x per allreduce
+        report = plan_workload(self.trace())
+        allreduce = next(r for r in report.rows if r["kind"] == "allreduce")
+        assert allreduce["optimal"] * 2 <= allreduce["baseline"]
+
+    def test_compute_neutral(self):
+        report = plan_workload(self.trace())
+        compute = next(r for r in report.rows if r["kind"] == "compute")
+        assert compute["optimal"] == compute["baseline"] == 500
+
+    def test_unknown_kind(self):
+        t = WorkloadTrace("x", postal(P=4, L=2)).add("teleport")
+        with pytest.raises(ValueError):
+            plan_workload(t)
+
+    def test_render(self):
+        text = plan_workload(self.trace()).render()
+        assert "cg-solver" in text and "allreduce" in text
+
+
+class TestSVG:
+    def test_valid_svg_document(self):
+        s = optimal_broadcast_schedule(LogPParams(P=8, L=6, o=2, g=4))
+        svg = schedule_to_svg(s, title="Figure 1 machine")
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert "Figure 1 machine" in svg
+        assert svg.count("<rect") > 8  # activity bars present
+
+    def test_rows_per_processor(self):
+        s = optimal_broadcast_schedule(postal(P=5, L=2))
+        svg = schedule_to_svg(s)
+        for p in range(5):
+            assert f">P{p}<" in svg
+
+    def test_file_output(self, tmp_path):
+        s = optimal_broadcast_schedule(postal(P=4, L=2))
+        path = tmp_path / "plan.svg"
+        save_svg(s, str(path), title="test")
+        content = path.read_text()
+        assert "<svg" in content
+
+    def test_escaping(self):
+        s = optimal_broadcast_schedule(postal(P=3, L=2))
+        svg = schedule_to_svg(s, title="a < b & c")
+        assert "a &lt; b &amp; c" in svg
