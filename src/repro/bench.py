@@ -1,0 +1,226 @@
+"""Performance benchmark harness (the PR-1 perf trajectory baseline).
+
+Times the three phases of the oracle pipeline — *build* a schedule,
+*validate* it (scalar vs vectorized engines), and *simulate* it on the
+event-driven :class:`~repro.sim.machine.Machine` — at processor counts
+well beyond the paper's figures (``P`` in {256, 1024, 4096}) and on the
+quadratic-message workloads (all-to-all, k-item all-to-all) that motivated
+the numpy fast path.
+
+Run via ``python -m repro.cli bench`` (or ``make bench``), which writes
+``BENCH_PR1.json``; ``benchmarks/test_perf_regression.py`` asserts the
+headline speedups so they cannot silently regress.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from typing import Any, Callable
+
+from repro.core.all_to_all import all_to_all_schedule, k_item_all_to_all_schedule
+from repro.core.single_item import optimal_broadcast_schedule
+from repro.params import LogPParams, postal
+from repro.schedule.ops import Schedule
+from repro.sim.machine import Context, Machine
+from repro.sim.validate import violations
+from repro.sim.validate_np import violations_np
+
+__all__ = [
+    "time_call",
+    "bench_broadcast",
+    "bench_all_to_all",
+    "bench_kitem_all_to_all",
+    "run_bench",
+    "write_bench",
+]
+
+
+def time_call(fn: Callable[[], Any], repeat: int = 1) -> tuple[float, Any]:
+    """Best-of-``repeat`` wall-clock seconds for ``fn()`` plus its result."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeat)):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+class _ChainRelay:
+    """Forward the broadcast item one hop down the line (P-1 sends total)."""
+
+    def on_start(self, ctx: Context) -> None:
+        if ctx.proc == 0 and ctx.has(0):
+            ctx.send(1, 0)
+
+    def on_receive(self, ctx: Context, item, src) -> None:
+        if ctx.proc + 1 < ctx.params.P:
+            ctx.send(ctx.proc + 1, item)
+
+
+class _AllToAll:
+    """Each processor offers its own item to everyone else, cyclically."""
+
+    def on_start(self, ctx: Context) -> None:
+        P = ctx.params.P
+        for d in range(1, P):
+            ctx.send((ctx.proc + d) % P, ("a2a", ctx.proc))
+
+    def on_receive(self, ctx: Context, item, src) -> None:
+        pass
+
+
+def _validate_timings(
+    schedule: Schedule, repeat: int, scalar_limit: int
+) -> dict[str, Any]:
+    out: dict[str, Any] = {}
+    np_s, np_result = time_call(lambda: violations_np(schedule), repeat)
+    assert np_result == [], "benchmark schedule must be legal"
+    out["validate_np_s"] = np_s
+    if len(schedule.sends) <= scalar_limit:
+        scalar_s, scalar_result = time_call(
+            lambda: violations(schedule, force_scalar=True), repeat
+        )
+        assert scalar_result == []
+        out["validate_scalar_s"] = scalar_s
+        out["validate_speedup"] = scalar_s / np_s if np_s > 0 else float("inf")
+    return out
+
+
+def bench_broadcast(
+    P: int, L: int = 4, o: int = 1, g: int = 2, repeat: int = 1
+) -> dict[str, Any]:
+    """Build/validate/simulate an optimal single-item broadcast at ``P``."""
+    params = LogPParams(P=P, L=L, o=o, g=g)
+    build_s, schedule = time_call(
+        lambda: optimal_broadcast_schedule(params), repeat
+    )
+    row: dict[str, Any] = {
+        "workload": "broadcast",
+        "P": P,
+        "params": [params.P, params.L, params.o, params.g],
+        "sends": len(schedule.sends),
+        "build_s": build_s,
+        "validate_s": time_call(lambda: violations(schedule), repeat)[0],
+    }
+
+    def simulate() -> Schedule:
+        machine = Machine(
+            params, {p: _ChainRelay() for p in range(P)}, max_cycles=10**9
+        )
+        return machine.run()
+
+    sim_s, realized = time_call(simulate, repeat)
+    row["simulate_machine_s"] = sim_s
+    row["simulate_sends"] = len(realized.sends)
+    return row
+
+
+def bench_all_to_all(
+    P: int,
+    L: int = 4,
+    repeat: int = 1,
+    scalar_limit: int = 100_000,
+    simulate_limit: int = 70_000,
+) -> dict[str, Any]:
+    """Build/validate/simulate the P-way all-to-all broadcast (P(P-1) sends)."""
+    params = postal(P=P, L=L)
+    build_s, schedule = time_call(lambda: all_to_all_schedule(params), repeat)
+    row: dict[str, Any] = {
+        "workload": "all-to-all",
+        "P": P,
+        "params": [params.P, params.L, params.o, params.g],
+        "sends": len(schedule.sends),
+        "build_s": build_s,
+    }
+    row.update(_validate_timings(schedule, repeat, scalar_limit))
+    if len(schedule.sends) <= simulate_limit:
+
+        def simulate() -> Schedule:
+            machine = Machine(
+                params,
+                {p: _AllToAll() for p in range(P)},
+                initial={p: {("a2a", p)} for p in range(P)},
+                max_cycles=10**9,
+            )
+            return machine.run()
+
+        sim_s, realized = time_call(simulate, repeat)
+        row["simulate_machine_s"] = sim_s
+        row["simulate_sends"] = len(realized.sends)
+    return row
+
+
+def bench_kitem_all_to_all(
+    P: int, k: int, L: int = 4, repeat: int = 1, scalar_limit: int = 100_000
+) -> dict[str, Any]:
+    """Build/validate the k-item all-to-all workload (k * P(P-1) sends)."""
+    params = postal(P=P, L=L)
+    build_s, schedule = time_call(
+        lambda: k_item_all_to_all_schedule(params, k), repeat
+    )
+    row: dict[str, Any] = {
+        "workload": "k-item-all-to-all",
+        "P": P,
+        "k": k,
+        "params": [params.P, params.L, params.o, params.g],
+        "sends": len(schedule.sends),
+        "build_s": build_s,
+    }
+    row.update(_validate_timings(schedule, repeat, scalar_limit))
+    return row
+
+
+def run_bench(
+    sizes: tuple[int, ...] = (256, 1024, 4096),
+    a2a_sizes: tuple[int, ...] = (256, 1024),
+    kitem: tuple[int, int] = (256, 4),
+    repeat: int = 1,
+    verbose: bool = False,
+) -> dict[str, Any]:
+    """Run every benchmark scenario and return the results document."""
+    scenarios: list[dict[str, Any]] = []
+
+    def record(row: dict[str, Any]) -> None:
+        scenarios.append(row)
+        if verbose:
+            keys = [
+                k for k in ("build_s", "validate_s", "validate_scalar_s",
+                            "validate_np_s", "simulate_machine_s")
+                if k in row
+            ]
+            timings = ", ".join(f"{k}={row[k]:.4f}" for k in keys)
+            print(
+                f"  {row['workload']} P={row['P']}"
+                + (f" k={row['k']}" if "k" in row else "")
+                + f" sends={row['sends']}: {timings}",
+                flush=True,
+            )
+
+    for P in sizes:
+        record(bench_broadcast(P, repeat=repeat))
+    for P in a2a_sizes:
+        record(bench_all_to_all(P, repeat=repeat))
+    record(bench_kitem_all_to_all(*kitem, repeat=repeat))
+    import numpy
+
+    return {
+        "bench": "PR-1 oracle-layer baseline",
+        "command": "python -m repro.cli bench",
+        "python": sys.version.split()[0],
+        "numpy": numpy.__version__,
+        "platform": platform.platform(),
+        "unix_time": int(time.time()),
+        "repeat": repeat,
+        "scenarios": scenarios,
+    }
+
+
+def write_bench(results: dict[str, Any], path: str) -> None:
+    """Write a benchmark results document as indented JSON."""
+    with open(path, "w") as fh:
+        json.dump(results, fh, indent=2)
+        fh.write("\n")

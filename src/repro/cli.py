@@ -8,6 +8,7 @@ Usage::
     python -m repro.cli plan-allreduce --P 9 --L 3
     python -m repro.cli figures    [--only 1 2 ...]
     python -m repro.cli sweeps
+    python -m repro.cli bench      [--out BENCH_PR1.json] [--quick]
 
 All plans are validated on the LogP simulator before being printed, so
 any output you see corresponds to a legal execution.
@@ -146,6 +147,26 @@ def cmd_sweeps(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import run_bench, write_bench
+
+    if args.quick:
+        sizes, a2a_sizes, kitem = (64, 128), (64,), (64, 2)
+    else:
+        sizes, a2a_sizes, kitem = (256, 1024, 4096), (256, 1024), (256, 4)
+    print(f"running {len(sizes) + len(a2a_sizes) + 1} benchmark scenarios...")
+    results = run_bench(
+        sizes=sizes,
+        a2a_sizes=a2a_sizes,
+        kitem=kitem,
+        repeat=args.repeat,
+        verbose=True,
+    )
+    write_bench(results, args.out)
+    print(f"wrote {args.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Optimal LogP collectives (SPAA'93 reproduction)"
@@ -194,6 +215,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("sweeps", help="run the theorem-validation sweeps")
     p.set_defaults(func=cmd_sweeps)
+
+    p = sub.add_parser("bench", help="time build/validate/simulate at scale")
+    p.add_argument("--out", default="BENCH_PR1.json", help="output JSON path")
+    p.add_argument("--repeat", type=int, default=1, help="best-of repetitions")
+    p.add_argument("--quick", action="store_true", help="small sizes (smoke test)")
+    p.set_defaults(func=cmd_bench)
 
     return parser
 

@@ -3,12 +3,19 @@
 These helpers are *descriptive* — they compute when items become available
 under the IR's timing convention without judging legality.  Legality
 checking lives in :mod:`repro.sim.validate`.
+
+Schedules with at least
+:data:`repro.schedule.analysis_np.FAST_PATH_THRESHOLD` sends are routed
+through the vectorized kernels in :mod:`repro.schedule.analysis_np`;
+results are identical (property-tested).
 """
 
 from __future__ import annotations
 
 from typing import Hashable
 
+from repro.schedule import analysis_np as _np_kernels
+from repro.schedule.analysis_np import FAST_PATH_THRESHOLD
 from repro.schedule.ops import Schedule, SendOp
 
 __all__ = [
@@ -31,6 +38,8 @@ def availability(schedule: Schedule) -> dict[tuple[int, Item], int]:
     destination at ``time + L + 2o``.  If an item reaches a processor more
     than once, the earliest arrival wins.
     """
+    if len(schedule.sends) >= FAST_PATH_THRESHOLD:
+        return _np_kernels.availability_np(schedule)
     avail: dict[tuple[int, Item], int] = {}
     for proc, items in schedule.initial.items():
         for item in items:
@@ -60,6 +69,8 @@ def item_completion_times(schedule: Schedule, procs: set[int] | None = None) -> 
     """
     if procs is None:
         procs = schedule.processors()
+    if len(schedule.sends) >= FAST_PATH_THRESHOLD:
+        return _np_kernels.item_completion_times_np(schedule, procs)
     avail = availability(schedule)
     out: dict[Item, int] = {}
     for item in schedule.items():
@@ -94,6 +105,8 @@ def max_delay(schedule: Schedule, procs: set[int] | None = None) -> int:
 
 def broadcast_delay_per_proc(schedule: Schedule, item: Item = 0) -> dict[int, int]:
     """For a single-item broadcast: map proc -> time it first holds ``item``."""
+    if len(schedule.sends) >= FAST_PATH_THRESHOLD:
+        return _np_kernels.broadcast_delay_np(schedule, item)
     avail = availability(schedule)
     return {
         proc: when for (proc, it), when in avail.items() if it == item

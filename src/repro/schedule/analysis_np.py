@@ -20,8 +20,13 @@ import numpy as np
 from repro.schedule.ops import Schedule
 
 __all__ = [
+    "FAST_PATH_THRESHOLD",
     "ScheduleColumns",
     "columns",
+    "availability_arrays",
+    "availability_np",
+    "item_completion_times_np",
+    "broadcast_delay_np",
     "completion_time_np",
     "per_proc_first_arrival_np",
     "per_item_completion_np",
@@ -29,6 +34,11 @@ __all__ = [
     "in_transit_profile",
     "per_proc_egress_peak",
 ]
+
+#: Schedules with at least this many sends are routed through the numpy
+#: kernels by :mod:`repro.schedule.analysis` and :mod:`repro.sim.validate`.
+#: Below it the pure-Python paths win (no array-conversion overhead).
+FAST_PATH_THRESHOLD = 1024
 
 
 @dataclass
@@ -52,19 +62,18 @@ def columns(schedule: Schedule) -> ScheduleColumns:
     """Convert a schedule to column arrays (one pass)."""
     sends = schedule.sends
     n = len(sends)
-    times = np.empty(n, dtype=np.int64)
-    srcs = np.empty(n, dtype=np.int64)
-    dsts = np.empty(n, dtype=np.int64)
-    items = np.empty(n, dtype=np.int64)
+    times = np.fromiter((op.time for op in sends), dtype=np.int64, count=n)
+    srcs = np.fromiter((op.src for op in sends), dtype=np.int64, count=n)
+    dsts = np.fromiter((op.dst for op in sends), dtype=np.int64, count=n)
     item_ids: dict[Hashable, int] = {}
-    for i, op in enumerate(sends):
-        times[i] = op.time
-        srcs[i] = op.src
-        dsts[i] = op.dst
-        key = op.item
-        if key not in item_ids:
-            item_ids[key] = len(item_ids)
-        items[i] = item_ids[key]
+    items = np.fromiter(
+        (
+            item_ids.setdefault(op.item, len(item_ids))
+            for op in sends
+        ),
+        dtype=np.int64,
+        count=n,
+    )
     cost = schedule.params.send_cost
     arrivals = times + cost
     num_procs = int(max(srcs.max(initial=-1), dsts.max(initial=-1))) + 1 if n else 0
@@ -78,6 +87,109 @@ def columns(schedule: Schedule) -> ScheduleColumns:
         item_ids=item_ids,
         num_procs=num_procs,
     )
+
+
+def availability_arrays(
+    schedule: Schedule, cols: ScheduleColumns | None = None
+) -> tuple[np.ndarray, np.ndarray, dict[Hashable, int], int]:
+    """Struct-of-arrays availability: the kernel behind the dict helpers.
+
+    Returns ``(keys, times, item_ids, n_items)`` where ``keys`` is a sorted
+    array of encoded ``proc * n_items + item_id`` keys, ``times[i]`` is the
+    earliest cycle that (proc, item) pair holds the item, and ``item_ids``
+    extends ``cols.item_ids`` with any items that appear only in the
+    initial placement.  Consumers look up pairs with ``np.searchsorted``.
+    """
+    if cols is None:
+        cols = columns(schedule)
+    item_ids = dict(cols.item_ids)
+    init_entries: list[tuple[int, int, int]] = []
+    for proc, items in schedule.initial.items():
+        for item in items:
+            if item not in item_ids:
+                item_ids[item] = len(item_ids)
+            init_entries.append(
+                (proc, item_ids[item], schedule.item_creation_time(item))
+            )
+    n_items = len(item_ids)
+    if n_items == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, item_ids, 0
+    init_arr = np.array(init_entries, dtype=np.int64).reshape(-1, 3)
+    keys = np.concatenate(
+        [init_arr[:, 0] * n_items + init_arr[:, 1], cols.dsts * n_items + cols.items]
+    )
+    vals = np.concatenate([init_arr[:, 2], cols.arrivals])
+    order = np.argsort(keys, kind="stable")
+    sk, sv = keys[order], vals[order]
+    starts = np.flatnonzero(np.concatenate(([True], sk[1:] != sk[:-1])))
+    return sk[starts], np.minimum.reduceat(sv, starts), item_ids, n_items
+
+
+def _id_to_item(item_ids: dict[Hashable, int]) -> list[Hashable]:
+    out: list[Hashable] = [None] * len(item_ids)
+    for item, idx in item_ids.items():
+        out[idx] = item
+    return out
+
+
+def availability_np(schedule: Schedule) -> dict[tuple[int, Hashable], int]:
+    """Vectorized :func:`repro.schedule.analysis.availability` (same dict)."""
+    keys, times, item_ids, n_items = availability_arrays(schedule)
+    if n_items == 0:
+        return {}
+    rev = _id_to_item(item_ids)
+    procs = (keys // n_items).tolist()
+    iids = (keys % n_items).tolist()
+    return {
+        (proc, rev[iid]): when
+        for proc, iid, when in zip(procs, iids, times.tolist())
+    }
+
+
+def item_completion_times_np(
+    schedule: Schedule, procs: set[int] | None = None
+) -> dict[Hashable, int]:
+    """Vectorized :func:`repro.schedule.analysis.item_completion_times`."""
+    if procs is None:
+        procs = schedule.processors()
+    keys, times, item_ids, n_items = availability_arrays(schedule)
+    items = schedule.items()
+    if not items:
+        return {}
+    if not procs:
+        return {item: 0 for item in items}
+    procs_arr = np.fromiter(sorted(procs), dtype=np.int64, count=len(procs))
+    kp = keys // n_items
+    ki = keys % n_items
+    mask = np.isin(kp, procs_arr)
+    kp, ki, kt = kp[mask], ki[mask], times[mask]
+    counts = np.zeros(n_items, dtype=np.int64)
+    np.add.at(counts, ki, 1)
+    worst = np.zeros(n_items, dtype=np.int64)
+    np.maximum.at(worst, ki, kt)
+    out: dict[Hashable, int] = {}
+    for item in items:
+        iid = item_ids[item]
+        if counts[iid] != len(procs):
+            held = set(kp[ki == iid].tolist())
+            missing = min(p for p in procs if p not in held)
+            raise ValueError(f"item {item!r} never reaches processor {missing}")
+        out[item] = int(worst[iid])
+    return out
+
+
+def broadcast_delay_np(schedule: Schedule, item: Hashable = 0) -> dict[int, int]:
+    """Vectorized :func:`repro.schedule.analysis.broadcast_delay_per_proc`."""
+    keys, times, item_ids, n_items = availability_arrays(schedule)
+    iid = item_ids.get(item)
+    if iid is None:
+        return {}
+    mask = (keys % n_items) == iid
+    return {
+        proc: when
+        for proc, when in zip((keys[mask] // n_items).tolist(), times[mask].tolist())
+    }
 
 
 def completion_time_np(cols: ScheduleColumns) -> int:

@@ -1,4 +1,4 @@
-"""Cycle-stepped LogP machine simulator.
+"""Event-driven LogP machine simulator.
 
 Two entry points:
 
@@ -14,11 +14,24 @@ Two entry points:
   reserved at send time, like a circuit-switched admission check), and
   thus also the network capacity.  The realized :class:`Schedule` therefore
   always replays cleanly on the strict validator.
+
+The engine is event-driven: instead of scanning all ``P`` processors every
+cycle, it keeps heaps of pending callbacks, reserved receptions and
+send-admission attempts, and jumps straight to the next cycle where any of
+them is due.  A blocked send is re-attempted at the earliest cycle its
+blocking constraint can clear (gap: ``last + g``; overhead: ``r + o``;
+receive-slot conflict: ``r + g - o - L``) — each bound is exact, so the
+realized schedule is identical, send for send, to the historical per-cycle
+scan (kept as a reference engine for property tests).  If the simulation
+goes quiescent while some processor still queues a send whose item it
+never receives, the engine fails fast with a deadlock diagnostic instead
+of spinning through ``max_cycles``.
 """
 
 from __future__ import annotations
 
 import heapq
+from bisect import bisect_left, bisect_right, insort
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Hashable, Protocol
@@ -83,15 +96,14 @@ class _ProcState:
     held: set[Item] = field(default_factory=set)
     outbox: deque = field(default_factory=deque)  # (dst, item)
     last_send_start: int | None = None
-    recv_slots: set[int] = field(default_factory=set)  # booked receive starts
-    inbox: list = field(default_factory=list)  # heap of (recv_start, seq, src, item)
+    recv_slots: list[int] = field(default_factory=list)  # sorted booked starts
 
 
 class Machine:
-    """Earliest-available cycle-stepped execution of reactive programs.
+    """Earliest-available event-driven execution of reactive programs.
 
-    Per cycle each processor attempts to start at most one send (head of
-    its FIFO outbox).  A send at cycle ``t`` is admitted only if
+    A processor attempts to start at most one send per cycle (head of its
+    FIFO outbox).  A send at cycle ``t`` is admitted only if
 
     * the item is held and the last send started >= ``g`` cycles ago,
     * (``o > 0``) the sender's overhead ``[t, t+o)`` does not overlap any
@@ -122,6 +134,15 @@ class Machine:
         self._initial = {p: set(s.held) for p, s in self._states.items() if s.held}
         self._sends: list[SendOp] = []
         self._seq = 0
+        self._now = 0
+        # pending callbacks: heap of (fire_time, seq, kind, proc, payload)
+        self._pending: list[tuple[int, int, str, int, tuple]] = []
+        # reserved receptions: heap of (slot, proc, src, item); slots at one
+        # processor are >= g >= 1 apart, so (slot, proc) never ties
+        self._recv_events: list[tuple[int, int, int, Item]] = []
+        # send-admission retries: heap of (cycle, proc) + dedupe map
+        self._attempts: list[tuple[int, int]] = []
+        self._attempt_at: dict[int, int] = {}
 
     def _next_seq(self) -> int:
         self._seq += 1
@@ -133,6 +154,14 @@ class Machine:
         if not (0 <= dst < self.params.P):
             raise ValueError(f"destination {dst} out of range")
         self._states[src].outbox.append((dst, item))
+        self._schedule_attempt(src, self._now)
+
+    def _schedule_attempt(self, proc: int, t: int) -> None:
+        current = self._attempt_at.get(proc)
+        if current is not None and current <= t:
+            return
+        self._attempt_at[proc] = t
+        heapq.heappush(self._attempts, (t, proc))
 
     def _send_admissible(self, proc: int, t: int) -> bool:
         params = self.params
@@ -146,86 +175,186 @@ class Machine:
             return False
         if params.o > 0:
             # the sender's overhead [t, t+o) must not overlap any reserved
-            # incoming receive overhead [r, r+o)
-            for r in state.recv_slots:
-                if abs(r - t) < params.o:
-                    return False
-        slot = t + params.o + params.L
-        dst_slots = self._states[dst].recv_slots
-        for r in dst_slots:
-            if abs(r - slot) < params.g:
+            # incoming receive overhead [r, r+o): no slot in (t-o, t+o)
+            if self._max_slot_in(state.recv_slots, t, params.o) is not None:
                 return False
+        slot = t + params.o + params.L
+        if self._max_slot_in(
+            self._states[dst].recv_slots, slot, params.g
+        ) is not None:
+            return False
         return True
 
-    def run(self) -> Schedule:
-        """Run all programs to quiescence and return the realized schedule."""
+    @staticmethod
+    def _max_slot_in(slots: list[int], center: int, radius: int) -> int | None:
+        """Largest reserved slot ``r`` with ``|r - center| < radius``."""
+        hi = bisect_left(slots, center + radius)
+        if hi > 0 and slots[hi - 1] > center - radius:
+            return slots[hi - 1]
+        return None
+
+    def _retry_time(self, proc: int, t: int) -> int | None:
+        """Earliest cycle > ``t`` at which the blocked head send could clear.
+
+        Returns ``None`` when the head item is not held (the processor is
+        woken by the reception instead) or the outbox is empty.  Every
+        bound is exact — the constraint provably still blocks at every
+        cycle before it — so retrying there preserves the cycle-accurate
+        admission order of the per-cycle reference engine.
+        """
         params = self.params
-        o = params.o
-        # pending callbacks: heap of (fire_time, seq, kind, proc, payload)
-        pending: list[tuple[int, int, str, int, tuple]] = []
+        state = self._states[proc]
+        if not state.outbox:
+            return None
+        dst, item = state.outbox[0]
+        if item not in state.held:
+            return None
+        t2 = t
+        if state.last_send_start is not None:
+            t2 = max(t2, state.last_send_start + params.g)
+        if params.o > 0:
+            r = self._max_slot_in(state.recv_slots, t, params.o)
+            if r is not None:
+                t2 = max(t2, r + params.o)
+        slot = t + params.o + params.L
+        r = self._max_slot_in(self._states[dst].recv_slots, slot, params.g)
+        if r is not None:
+            t2 = max(t2, r + params.g - params.o - params.L)
+        return t2 if t2 > t else t + 1
+
+    def _execute_send(self, proc: int, t: int) -> None:
+        state = self._states[proc]
+        dst, item = state.outbox.popleft()
+        state.last_send_start = t
+        self._sends.append(SendOp(time=t, src=proc, dst=dst, item=item))
+        slot = t + self.params.o + self.params.L
+        insort(self._states[dst].recv_slots, slot)
+        heapq.heappush(self._recv_events, (slot, dst, proc, item))
+
+    def _drain_callbacks(self, t: int) -> None:
+        while self._pending and self._pending[0][0] <= t:
+            fire_time, _seq, kind, proc, payload = heapq.heappop(self._pending)
+            prog = self.programs.get(proc)
+            if prog is None:
+                continue
+            ctx = Context(self, proc, max(fire_time, t))
+            if kind == "start":
+                prog.on_start(ctx)
+            else:
+                item, src = payload
+                prog.on_receive(ctx, item, src)
+
+    def _deliver_receptions(self, t: int) -> None:
+        o = self.params.o
+        while self._recv_events and self._recv_events[0][0] <= t:
+            slot, proc, src, item = heapq.heappop(self._recv_events)
+            assert slot == t, "reserved slot must fire on time"
+            self._states[proc].held.add(item)
+            heapq.heappush(
+                self._pending, (t + o, self._next_seq(), "recv", proc, (item, src))
+            )
+            self._schedule_attempt(proc, t)
+
+    def _push_starts(self) -> None:
         for proc in sorted(self.programs):
-            heapq.heappush(pending, (0, self._next_seq(), "start", proc, ()))
+            heapq.heappush(self._pending, (0, self._next_seq(), "start", proc, ()))
+        for proc, state in self._states.items():
+            if state.outbox:
+                self._schedule_attempt(proc, 0)
 
-        def drain_callbacks(t: int) -> None:
-            while pending and pending[0][0] <= t:
-                fire_time, _seq, kind, proc, payload = heapq.heappop(pending)
-                prog = self.programs.get(proc)
-                if prog is None:
-                    continue
-                ctx = Context(self, proc, max(fire_time, t))
-                if kind == "start":
-                    prog.on_start(ctx)
-                else:
-                    item, src = payload
-                    prog.on_receive(ctx, item, src)
+    def _finish(self) -> Schedule:
+        return Schedule(
+            params=self.params, sends=sorted(self._sends), initial=self._initial
+        )
 
-        t = 0
-        while t <= self.max_cycles:
-            drain_callbacks(t)
+    def _raise_deadlock(self) -> None:
+        stuck = sorted(
+            (proc, state.outbox[0])
+            for proc, state in self._states.items()
+            if state.outbox
+        )
+        lines = [
+            f"proc {proc} waits to send item {item!r} to proc {dst} "
+            f"but never receives the item"
+            for proc, (dst, item) in stuck
+        ]
+        raise RuntimeError(
+            "deadlock: simulation is quiescent with undeliverable sends:\n  "
+            + "\n  ".join(lines)
+        )
 
-            # phase 1: receptions due this cycle (slots are pre-validated)
-            for proc in range(params.P):
-                state = self._states[proc]
-                if state.inbox and state.inbox[0][0] <= t:
-                    recv_start, _sq, src, item = heapq.heappop(state.inbox)
-                    assert recv_start == t, "reserved slot must fire on time"
-                    state.held.add(item)
-                    heapq.heappush(
-                        pending,
-                        (t + o, self._next_seq(), "recv", proc, (item, src)),
-                    )
+    def run(self) -> Schedule:
+        """Run all programs to quiescence and return the realized schedule.
 
+        Raises ``RuntimeError`` on deadlock (a queued send whose item never
+        arrives) or when the next event lies beyond ``max_cycles``.
+        """
+        self._push_starts()
+        while True:
+            candidates = [
+                heap[0][0]
+                for heap in (self._pending, self._recv_events, self._attempts)
+                if heap
+            ]
+            if not candidates:
+                if any(state.outbox for state in self._states.values()):
+                    self._raise_deadlock()
+                break
+            t = min(candidates)
+            if t > self.max_cycles:
+                raise RuntimeError(
+                    f"simulation exceeded {self.max_cycles} cycles"
+                )
+            self._now = t
+            self._drain_callbacks(t)
+            self._deliver_receptions(t)
             # with o == 0 the payload is usable this very cycle, and the
             # postal model is full duplex: fire handlers before the send
             # phase so a just-informed processor can relay immediately
-            if o == 0:
-                drain_callbacks(t)
-
-            # phase 2: sends
-            for proc in range(params.P):
+            if self.params.o == 0:
+                self._drain_callbacks(t)
+            # send attempts due now, in ascending processor order — a send
+            # reserves a receive slot that may block a higher-numbered
+            # processor in this same cycle, exactly as the per-cycle scan
+            while self._attempts and self._attempts[0][0] <= t:
+                at, proc = heapq.heappop(self._attempts)
+                if self._attempt_at.get(proc) != at:
+                    continue  # superseded by an earlier reschedule
+                del self._attempt_at[proc]
                 if self._send_admissible(proc, t):
-                    state = self._states[proc]
-                    dst, item = state.outbox.popleft()
-                    state.last_send_start = t
-                    self._sends.append(SendOp(time=t, src=proc, dst=dst, item=item))
-                    slot = t + o + params.L
-                    dst_state = self._states[dst]
-                    dst_state.recv_slots.add(slot)
-                    heapq.heappush(
-                        dst_state.inbox, (slot, self._next_seq(), proc, item)
-                    )
+                    self._execute_send(proc, t)
+                    if self._states[proc].outbox:
+                        self._schedule_attempt(proc, t + self.params.g)
+                else:
+                    retry = self._retry_time(proc, t)
+                    if retry is not None:
+                        self._schedule_attempt(proc, retry)
+        return self._finish()
 
-            if not pending and not any(
-                s.outbox or s.inbox for s in self._states.values()
+    def _run_cycle_stepped(self) -> Schedule:
+        """Reference engine: the historical per-cycle scan over all ``P``
+        processors.  Semantically identical to :meth:`run` (property-tested);
+        kept only as the oracle for that comparison.
+        """
+        self._push_starts()
+        t = 0
+        while t <= self.max_cycles:
+            self._now = t
+            self._drain_callbacks(t)
+            self._deliver_receptions(t)
+            if self.params.o == 0:
+                self._drain_callbacks(t)
+            for proc in range(self.params.P):
+                if self._send_admissible(proc, t):
+                    self._execute_send(proc, t)
+            if not self._pending and not self._recv_events and not any(
+                s.outbox for s in self._states.values()
             ):
                 break
             t += 1
         else:
             raise RuntimeError(f"simulation exceeded {self.max_cycles} cycles")
-
-        return Schedule(
-            params=params, sends=sorted(self._sends), initial=self._initial
-        )
+        return self._finish()
 
     def held(self, proc: int) -> frozenset[Item]:
         return frozenset(self._states[proc].held)

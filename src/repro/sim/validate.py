@@ -20,6 +20,12 @@ Two further *problem-specific* predicates are provided:
 twice — the "correctness" criterion of Section 3.1) and
 :func:`is_single_sending` (the source transmits each item exactly once —
 Section 3.4).
+
+Schedules with at least
+:data:`repro.schedule.analysis_np.FAST_PATH_THRESHOLD` sends are checked
+by the vectorized engine (:mod:`repro.sim.validate_np`), which returns
+the same violation strings; pass ``force_scalar=True`` to pin the
+pure-Python path.
 """
 
 from __future__ import annotations
@@ -27,6 +33,7 @@ from __future__ import annotations
 from typing import Hashable
 
 from repro.schedule.analysis import availability
+from repro.schedule.analysis_np import FAST_PATH_THRESHOLD
 from repro.schedule.ops import Schedule, SendOp
 
 __all__ = [
@@ -43,8 +50,17 @@ def _interval_overlap(a0: int, a1: int, b0: int, b1: int) -> bool:
     return a0 < b1 and b0 < a1
 
 
-def violations(schedule: Schedule, check_capacity: bool = True) -> list[str]:
-    """Return all LogP-model violations in ``schedule`` (empty if legal)."""
+def violations(
+    schedule: Schedule,
+    check_capacity: bool = True,
+    force_scalar: bool = False,
+) -> list[str]:
+    """Return all LogP-model violations in ``schedule`` (empty if legal);
+    auto-dispatches to the numpy engine for large schedules."""
+    if not force_scalar and len(schedule.sends) >= FAST_PATH_THRESHOLD:
+        from repro.sim.validate_np import violations_np
+
+        return violations_np(schedule, check_capacity=check_capacity)
     params = schedule.params
     problems: list[str] = []
 
@@ -160,10 +176,25 @@ def single_reception_violations(schedule: Schedule) -> list[str]:
     return problems
 
 
-def is_single_sending(schedule: Schedule, source: int = 0) -> bool:
-    """True iff the source transmits each item exactly once (Section 3.4)."""
+def is_single_sending(
+    schedule: Schedule,
+    source: int = 0,
+    items: set[Item] | None = None,
+) -> bool:
+    """True iff the source transmits each item exactly once (Section 3.4).
+
+    ``items`` names the item set the criterion quantifies over and
+    defaults to the source's initial holdings.  Every item in that set
+    must be sent exactly once by ``source`` — a source that never
+    transmits one of its items is *not* single-sending (it is simply not
+    broadcasting) — and no item at all may be sent twice.
+    """
+    if items is None:
+        items = set(schedule.initial.get(source, set()))
     counts: dict[Item, int] = {}
     for op in schedule.sends:
         if op.src == source:
             counts[op.item] = counts.get(op.item, 0) + 1
+    if any(counts.get(item, 0) != 1 for item in items):
+        return False
     return all(count == 1 for count in counts.values())

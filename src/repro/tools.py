@@ -44,6 +44,7 @@ MODULES = [
     "repro.schedule.serialize",
     "repro.sim.machine",
     "repro.sim.validate",
+    "repro.sim.validate_np",
     "repro.sim.trace",
     "repro.baselines.trees",
     "repro.baselines.kitem",
@@ -63,6 +64,7 @@ MODULES = [
     "repro.workload",
     "repro.fitting",
     "repro.report",
+    "repro.bench",
     "repro.cli",
 ]
 

@@ -115,12 +115,27 @@ class TestErrorPaths:
         class Pingpong:
             def on_start(self, ctx):
                 if ctx.proc == 0:
+                    ctx.send(1, "ball")
+
+            def on_receive(self, ctx, item, src):
+                ctx.send(src, item)  # bounce the held ball forever
+
+        with pytest.raises(RuntimeError, match="exceeded"):
+            Machine(postal(P=2, L=1), {0: Pingpong(), 1: Pingpong()},
+                    initial={0: {"ball"}}, max_cycles=200).run()
+
+    def test_unheld_send_deadlocks_fast(self):
+        # sending an item the processor never receives used to spin through
+        # all max_cycles; now it fails fast with a diagnostic
+        class Pingpong:
+            def on_start(self, ctx):
+                if ctx.proc == 0:
                     ctx.send(1, ("ball", 0))
 
             def on_receive(self, ctx, item, src):
                 _tag, n = item
-                ctx.send(src, ("ball", n + 1))  # bounce forever
+                ctx.send(src, ("ball", n + 1))  # item the sender never holds
 
-        with pytest.raises(RuntimeError, match="exceeded"):
+        with pytest.raises(RuntimeError, match=r"(?s)deadlock.*proc 1 .*proc 0"):
             Machine(postal(P=2, L=1), {0: Pingpong(), 1: Pingpong()},
-                    max_cycles=200).run()
+                    initial={0: {("ball", 0)}}).run()

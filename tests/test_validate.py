@@ -149,3 +149,34 @@ class TestProblemSpecific:
         assert is_single_sending(s)
         s.add(time=2, src=0, dst=2, item=0)
         assert not is_single_sending(s)
+
+    def test_untransmitted_item_is_not_single_sending(self):
+        # regression: source holds {0, 1} but only ever sends item 0 —
+        # the old predicate vacuously returned True
+        s = Schedule(params=postal(P=3, L=1), initial={0: {0, 1}})
+        s.add(time=0, src=0, dst=1, item=0)
+        assert not is_single_sending(s)
+
+    def test_source_sending_nothing_is_not_single_sending(self):
+        s = Schedule(params=postal(P=3, L=1), initial={0: {0}})
+        assert not is_single_sending(s)
+
+    def test_explicit_item_set_overrides_initial(self):
+        # quantify over item 0 only: the untransmitted item 1 is excused
+        s = Schedule(params=postal(P=3, L=1), initial={0: {0, 1}})
+        s.add(time=0, src=0, dst=1, item=0)
+        assert is_single_sending(s, items={0})
+        assert not is_single_sending(s, items={0, 1})
+
+    def test_duplicate_send_outside_item_set_still_rejected(self):
+        s = Schedule(params=postal(P=4, L=1), initial={0: {0}})
+        s.add(time=0, src=0, dst=1, item=0)
+        s.add(time=1, src=0, dst=2, item=7)
+        s.add(time=2, src=0, dst=3, item=7)  # item 7 sent twice
+        assert not is_single_sending(s, items={0})
+
+    def test_non_default_source(self):
+        s = Schedule(params=postal(P=3, L=1), initial={1: {"x"}})
+        s.add(time=0, src=1, dst=0, item="x")
+        assert is_single_sending(s, source=1)
+        assert not is_single_sending(s, source=2, items={"x"})
