@@ -11,7 +11,7 @@ test:
 	$(PY) -m pytest tests/
 
 bench:
-	PYTHONPATH=src $(PY) -m repro.cli bench --out BENCH_PR1.json
+	PYTHONPATH=src $(PY) -m repro.cli bench --out BENCH_PR2.json
 	PYTHONPATH=src $(PY) -m pytest -m perf benchmarks/test_perf_regression.py
 
 bench-micro:

@@ -1,10 +1,13 @@
-"""Perf-regression gate for the vectorized validator and event simulator.
+"""Perf-regression gate for the vectorized validator, event simulator,
+and columnar schedule builders.
 
 Marked ``perf`` so tier-1 (``pytest tests/``) never runs these; they are
 timing-sensitive and belong in ``make bench``.  The headline acceptance
-number for PR-1 is the validator speedup: on the P=256 all-to-all
-broadcast (65,280 sends) the numpy engine must beat the scalar engine by
-at least 5x while producing the identical (empty) violation list.
+numbers: PR-1 — on the P=256 all-to-all broadcast (65,280 sends) the
+numpy validator must beat the scalar engine by at least 5x with the
+identical (empty) violation list; PR-2 — the columnar all-to-all builder
+must beat the per-``SendOp`` object builder by at least 5x while
+producing the identical send list.
 """
 
 import sys
@@ -54,6 +57,40 @@ def test_event_driven_machine_skips_idle_cycles():
     row = bench_broadcast(1024, repeat=1)
     assert row["simulate_sends"] == 1023
     assert row["simulate_machine_s"] < 1.0
+
+
+def test_columnar_build_speedup_on_p512_all_to_all():
+    # PR-2 acceptance: the numpy-broadcasting builder must construct the
+    # P=512 all-to-all (261,632 sends) at least 5x faster than the
+    # object-path loop, and yield the identical schedule lazily
+    params = postal(P=512, L=4)
+    fast_s, fast = time_call(lambda: all_to_all_schedule(params), repeat=3)
+    obj_s, oracle = time_call(
+        lambda: all_to_all_schedule(params, backend="objects"), repeat=3
+    )
+    assert fast.num_sends == oracle.num_sends == 512 * 511
+    speedup = obj_s / fast_s
+    assert speedup >= 5.0, (
+        f"columnar builder only {speedup:.1f}x faster than object path "
+        f"({obj_s:.3f}s vs {fast_s:.3f}s); acceptance floor is 5x"
+    )
+    assert fast.sends == oracle.sends
+
+
+def test_columnar_storage_is_denser_than_objects():
+    # four int64 columns = 32 bytes/send; the object path pays a list
+    # slot plus a SendOp instance per send (several times that)
+    row = bench_all_to_all(64, repeat=1)
+    assert row["columnar_bytes_per_send"] <= 40
+    assert row["object_bytes_per_send"] > 2 * row["columnar_bytes_per_send"]
+
+
+def test_array_backed_validation_consumes_cached_columns():
+    # validating an array-backed schedule must not materialize SendOps
+    schedule = all_to_all_schedule(postal(P=256, L=4))
+    assert schedule.is_array_backed
+    assert violations_np(schedule) == []
+    assert schedule.is_array_backed
 
 
 def test_bench_scenarios_produce_legal_schedules():

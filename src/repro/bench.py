@@ -1,15 +1,22 @@
-"""Performance benchmark harness (the PR-1 perf trajectory baseline).
+"""Performance benchmark harness (PR-2: columnar-storage trajectory).
 
-Times the three phases of the oracle pipeline — *build* a schedule,
-*validate* it (scalar vs vectorized engines), and *simulate* it on the
-event-driven :class:`~repro.sim.machine.Machine` — at processor counts
-well beyond the paper's figures (``P`` in {256, 1024, 4096}) and on the
-quadratic-message workloads (all-to-all, k-item all-to-all) that motivated
-the numpy fast path.
+Times the three phases of the pipeline — *build* a schedule (columnar
+struct-of-arrays backend vs the object-path oracle), *validate* it
+(scalar vs vectorized engines, consuming the schedule's cached columns),
+and *simulate* it on the event-driven :class:`~repro.sim.machine.Machine`
+— at processor counts well beyond the paper's figures (``P`` in
+{256, 1024, 4096}) and on the quadratic-message workloads (all-to-all,
+k-item all-to-all) that motivated the numpy fast paths.
+
+Each quadratic-workload row also records the storage footprint of both
+backends as *bytes per send*: exact for the four ``int64`` columns,
+a shallow ``sys.getsizeof`` estimate (list slot + ``SendOp`` instance;
+shared item payloads excluded) for the object path.
 
 Run via ``python -m repro.cli bench`` (or ``make bench``), which writes
-``BENCH_PR1.json``; ``benchmarks/test_perf_regression.py`` asserts the
-headline speedups so they cannot silently regress.
+``BENCH_PR2.json`` (``BENCH_PR1.json`` is kept as the PR-1 baseline);
+``benchmarks/test_perf_regression.py`` asserts the headline speedups so
+they cannot silently regress.
 """
 
 from __future__ import annotations
@@ -21,7 +28,8 @@ import time
 from typing import Any, Callable
 
 from repro.core.all_to_all import all_to_all_schedule, k_item_all_to_all_schedule
-from repro.core.single_item import optimal_broadcast_schedule
+from repro.core.single_item import optimal_broadcast_schedule, schedule_from_tree
+from repro.core.tree import optimal_tree
 from repro.params import LogPParams, postal
 from repro.schedule.ops import Schedule
 from repro.sim.machine import Context, Machine
@@ -80,7 +88,7 @@ def _validate_timings(
     np_s, np_result = time_call(lambda: violations_np(schedule), repeat)
     assert np_result == [], "benchmark schedule must be legal"
     out["validate_np_s"] = np_s
-    if len(schedule.sends) <= scalar_limit:
+    if schedule.num_sends <= scalar_limit:
         scalar_s, scalar_result = time_call(
             lambda: violations(schedule, force_scalar=True), repeat
         )
@@ -90,20 +98,51 @@ def _validate_timings(
     return out
 
 
+def _build_timings(
+    columnar_build: Callable[[], Schedule],
+    objects_build: Callable[[], Schedule],
+    repeat: int,
+) -> tuple[dict[str, Any], Schedule]:
+    """Time both storage backends of a builder; returns the columnar result.
+
+    The row gains ``build_s`` (columnar, the default pipeline),
+    ``build_objects_s`` (per-``SendOp`` oracle path), the
+    ``build_speedup`` ratio, and the bytes-per-send footprint of each
+    storage mode.
+    """
+    build_s, schedule = time_call(columnar_build, repeat)
+    objects_s, objects_schedule = time_call(objects_build, repeat)
+    n = schedule.num_sends
+    row: dict[str, Any] = {
+        "build_s": build_s,
+        "build_objects_s": objects_s,
+        "build_speedup": objects_s / build_s if build_s > 0 else float("inf"),
+    }
+    if n:
+        row["columnar_bytes_per_send"] = schedule.columns().nbytes / n
+        sends = objects_schedule.sends
+        row["object_bytes_per_send"] = (
+            sys.getsizeof(sends) / n + sys.getsizeof(sends[0])
+        )
+    return row, schedule
+
+
 def bench_broadcast(
     P: int, L: int = 4, o: int = 1, g: int = 2, repeat: int = 1
 ) -> dict[str, Any]:
     """Build/validate/simulate an optimal single-item broadcast at ``P``."""
     params = LogPParams(P=P, L=L, o=o, g=g)
-    build_s, schedule = time_call(
-        lambda: optimal_broadcast_schedule(params), repeat
+    build_row, schedule = _build_timings(
+        lambda: optimal_broadcast_schedule(params),
+        lambda: schedule_from_tree(optimal_tree(params), backend="objects"),
+        repeat,
     )
     row: dict[str, Any] = {
         "workload": "broadcast",
         "P": P,
         "params": [params.P, params.L, params.o, params.g],
-        "sends": len(schedule.sends),
-        "build_s": build_s,
+        "sends": schedule.num_sends,
+        **build_row,
         "validate_s": time_call(lambda: violations(schedule), repeat)[0],
     }
 
@@ -128,16 +167,20 @@ def bench_all_to_all(
 ) -> dict[str, Any]:
     """Build/validate/simulate the P-way all-to-all broadcast (P(P-1) sends)."""
     params = postal(P=P, L=L)
-    build_s, schedule = time_call(lambda: all_to_all_schedule(params), repeat)
+    build_row, schedule = _build_timings(
+        lambda: all_to_all_schedule(params),
+        lambda: all_to_all_schedule(params, backend="objects"),
+        repeat,
+    )
     row: dict[str, Any] = {
         "workload": "all-to-all",
         "P": P,
         "params": [params.P, params.L, params.o, params.g],
-        "sends": len(schedule.sends),
-        "build_s": build_s,
+        "sends": schedule.num_sends,
+        **build_row,
     }
     row.update(_validate_timings(schedule, repeat, scalar_limit))
-    if len(schedule.sends) <= simulate_limit:
+    if schedule.num_sends <= simulate_limit:
 
         def simulate() -> Schedule:
             machine = Machine(
@@ -159,16 +202,18 @@ def bench_kitem_all_to_all(
 ) -> dict[str, Any]:
     """Build/validate the k-item all-to-all workload (k * P(P-1) sends)."""
     params = postal(P=P, L=L)
-    build_s, schedule = time_call(
-        lambda: k_item_all_to_all_schedule(params, k), repeat
+    build_row, schedule = _build_timings(
+        lambda: k_item_all_to_all_schedule(params, k),
+        lambda: k_item_all_to_all_schedule(params, k, backend="objects"),
+        repeat,
     )
     row: dict[str, Any] = {
         "workload": "k-item-all-to-all",
         "P": P,
         "k": k,
         "params": [params.P, params.L, params.o, params.g],
-        "sends": len(schedule.sends),
-        "build_s": build_s,
+        "sends": schedule.num_sends,
+        **build_row,
     }
     row.update(_validate_timings(schedule, repeat, scalar_limit))
     return row
@@ -188,7 +233,8 @@ def run_bench(
         scenarios.append(row)
         if verbose:
             keys = [
-                k for k in ("build_s", "validate_s", "validate_scalar_s",
+                k for k in ("build_s", "build_objects_s", "build_speedup",
+                            "validate_s", "validate_scalar_s",
                             "validate_np_s", "simulate_machine_s")
                 if k in row
             ]
@@ -208,7 +254,8 @@ def run_bench(
     import numpy
 
     return {
-        "bench": "PR-1 oracle-layer baseline",
+        "bench": "PR-2 columnar schedule storage",
+        "baseline": "BENCH_PR1.json",
         "command": "python -m repro.cli bench",
         "python": sys.version.split()[0],
         "numpy": numpy.__version__,

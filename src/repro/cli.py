@@ -8,7 +8,7 @@ Usage::
     python -m repro.cli plan-allreduce --P 9 --L 3
     python -m repro.cli figures    [--only 1 2 ...]
     python -m repro.cli sweeps
-    python -m repro.cli bench      [--out BENCH_PR1.json] [--quick]
+    python -m repro.cli bench      [--out BENCH_PR2.json] [--repeat N] [--quick]
 
 All plans are validated on the LogP simulator before being printed, so
 any output you see corresponds to a legal execution.
@@ -217,7 +217,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_sweeps)
 
     p = sub.add_parser("bench", help="time build/validate/simulate at scale")
-    p.add_argument("--out", default="BENCH_PR1.json", help="output JSON path")
+    p.add_argument("--out", default="BENCH_PR2.json", help="output JSON path")
     p.add_argument("--repeat", type=int, default=1, help="best-of repetitions")
     p.add_argument("--quick", action="store_true", help="small sizes (smoke test)")
     p.set_defaults(func=cmd_bench)

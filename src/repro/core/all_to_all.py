@@ -21,7 +21,10 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from repro.params import LogPParams
+from repro.schedule.columnar import ItemTable
 from repro.schedule.ops import Schedule
 
 __all__ = [
@@ -107,8 +110,21 @@ def _check_orders(P: int, orders: Sequence[Sequence[int]]) -> None:
             )
 
 
+def _cyclic_grid(P: int, gp: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(srcs, slots, times)`` for one round of the cyclic schedule.
+
+    Send order matches the object-path loops: source-major, then slot.
+    """
+    srcs = np.repeat(np.arange(P, dtype=np.int64), P - 1)
+    slots = np.tile(np.arange(P - 1, dtype=np.int64), P)
+    return srcs, slots, slots * gp
+
+
 def all_to_all_schedule(
-    params: LogPParams, orders: Sequence[Sequence[int]] | None = None
+    params: LogPParams,
+    orders: Sequence[Sequence[int]] | None = None,
+    *,
+    backend: str = "columnar",
 ) -> Schedule:
     """Optimal all-to-all broadcast: item ``("a2a", i)`` starts at proc ``i``.
 
@@ -116,68 +132,129 @@ def all_to_all_schedule(
     default is the paper's cyclic ``i+1, ..., i+P-1 (mod P)``.  Custom
     orders are validated for the round-collision-freedom criterion the
     paper states.
+
+    ``backend="columnar"`` (the default) builds the array-backed schedule
+    with numpy broadcasting — no per-send Python loop; ``"objects"`` is
+    the original loop, kept as the property-tested oracle.
     """
     P = params.P
     if P < 2:
         return Schedule(params=params, initial={0: {("a2a", 0)}})
-    if orders is None:
-        orders = _default_orders(P)
-    else:
+    if orders is not None:
         _check_orders(P, orders)
     gp = interleaving_gap(params)
-    schedule = Schedule(
-        params=params,
-        initial={i: {("a2a", i)} for i in range(P)},
+    initial = {i: {("a2a", i)} for i in range(P)}
+    if backend == "objects":
+        if orders is None:
+            orders = _default_orders(P)
+        schedule = Schedule(params=params, initial=initial)
+        for i in range(P):
+            for slot, dst in enumerate(orders[i]):
+                schedule.add(time=slot * gp, src=i, dst=dst, item=("a2a", i))
+        return schedule
+    if backend != "columnar":
+        raise ValueError(f"unknown backend {backend!r}")
+    srcs, slots, times = _cyclic_grid(P, gp)
+    if orders is None:
+        dsts = (srcs + 1 + slots) % P
+    else:
+        dsts = np.asarray(orders, dtype=np.int64).reshape(-1)
+    return Schedule.from_arrays(
+        params,
+        times,
+        srcs,
+        dsts,
+        item_codes=srcs,
+        item_table=ItemTable(("a2a", i) for i in range(P)),
+        initial=initial,
     )
-    for i in range(P):
-        for slot, dst in enumerate(orders[i]):
-            schedule.add(time=slot * gp, src=i, dst=dst, item=("a2a", i))
-    return schedule
 
 
-def all_to_all_personalized_schedule(params: LogPParams) -> Schedule:
+def all_to_all_personalized_schedule(
+    params: LogPParams, *, backend: str = "columnar"
+) -> Schedule:
     """All-to-all personalized communication: item ``("p2p", i, j)`` goes
     from ``i`` to ``j`` only.  Same timing as the broadcast schedule."""
     P = params.P
-    schedule = Schedule(
-        params=params,
-        initial={
-            i: {("p2p", i, j) for j in range(P) if j != i} for i in range(P)
-        },
-    )
+    initial = {
+        i: {("p2p", i, j) for j in range(P) if j != i} for i in range(P)
+    }
     gp = interleaving_gap(params)
-    for i in range(P):
-        for slot in range(P - 1):
-            dst = (i + 1 + slot) % P
-            schedule.add(
-                time=slot * gp, src=i, dst=dst, item=("p2p", i, dst)
-            )
-    return schedule
-
-
-def k_item_all_to_all_schedule(params: LogPParams, k: int) -> Schedule:
-    """``k`` repetitions of the cyclic schedule: optimal k-item all-to-all."""
-    if k < 1:
-        raise ValueError(f"k must be >= 1, got {k}")
-    P = params.P
-    schedule = Schedule(
-        params=params,
-        initial={
-            i: {("a2a", i, copy) for copy in range(k)} for i in range(P)
-        },
-    )
-    if P < 2:
-        return schedule
-    gp = interleaving_gap(params)
-    for copy in range(k):
-        base = copy * (P - 1) * gp
+    if backend == "objects":
+        schedule = Schedule(params=params, initial=initial)
         for i in range(P):
             for slot in range(P - 1):
                 dst = (i + 1 + slot) % P
                 schedule.add(
-                    time=base + slot * gp,
-                    src=i,
-                    dst=dst,
-                    item=("a2a", i, copy),
+                    time=slot * gp, src=i, dst=dst, item=("p2p", i, dst)
                 )
-    return schedule
+        return schedule
+    if backend != "columnar":
+        raise ValueError(f"unknown backend {backend!r}")
+    if P < 2:
+        return Schedule(params=params, initial=initial or {0: set()})
+    srcs, slots, times = _cyclic_grid(P, gp)
+    dsts = (srcs + 1 + slots) % P
+    # every send carries a distinct item, in storage order
+    table = ItemTable(
+        ("p2p", i, j) for i, j in zip(srcs.tolist(), dsts.tolist())
+    )
+    return Schedule.from_arrays(
+        params,
+        times,
+        srcs,
+        dsts,
+        item_codes=np.arange(len(times), dtype=np.int64),
+        item_table=table,
+        initial=initial,
+    )
+
+
+def k_item_all_to_all_schedule(
+    params: LogPParams, k: int, *, backend: str = "columnar"
+) -> Schedule:
+    """``k`` repetitions of the cyclic schedule: optimal k-item all-to-all."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    P = params.P
+    initial = {i: {("a2a", i, copy) for copy in range(k)} for i in range(P)}
+    if P < 2:
+        return Schedule(params=params, initial=initial)
+    gp = interleaving_gap(params)
+    if backend == "objects":
+        schedule = Schedule(params=params, initial=initial)
+        for copy in range(k):
+            base = copy * (P - 1) * gp
+            for i in range(P):
+                for slot in range(P - 1):
+                    dst = (i + 1 + slot) % P
+                    schedule.add(
+                        time=base + slot * gp,
+                        src=i,
+                        dst=dst,
+                        item=("a2a", i, copy),
+                    )
+        return schedule
+    if backend != "columnar":
+        raise ValueError(f"unknown backend {backend!r}")
+    round_sends = P * (P - 1)
+    copies = np.repeat(np.arange(k, dtype=np.int64), round_sends)
+    srcs1, slots1, times1 = _cyclic_grid(P, gp)
+    srcs = np.tile(srcs1, k)
+    slots = np.tile(slots1, k)
+    times = copies * ((P - 1) * gp) + np.tile(times1, k)
+    dsts = (srcs + 1 + slots) % P
+    # interning order (first occurrence: copy-major, then source) gives
+    # item ("a2a", i, copy) the code copy * P + i
+    table = ItemTable(
+        ("a2a", i, copy) for copy in range(k) for i in range(P)
+    )
+    return Schedule.from_arrays(
+        params,
+        times,
+        srcs,
+        dsts,
+        item_codes=copies * P + srcs,
+        item_table=table,
+        initial=initial,
+    )

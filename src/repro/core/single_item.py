@@ -11,9 +11,12 @@ The schedule's running time equals ``B(P; L, o, g)`` by construction, and
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.fib import broadcast_time
 from repro.core.tree import BroadcastTree, optimal_tree
 from repro.params import LogPParams
+from repro.schedule.columnar import ItemTable
 from repro.schedule.ops import Schedule
 
 __all__ = [
@@ -28,8 +31,15 @@ def schedule_from_tree(
     item: object = 0,
     start_time: int = 0,
     proc_map: dict[int, int] | None = None,
+    *,
+    backend: str = "columnar",
 ) -> Schedule:
     """Expand a broadcast tree into an explicit schedule.
+
+    The default backend emits all sends as one numpy batch (node ``i``'s
+    ``j``-th send starts at ``delay_i + j*g``) into an array-backed
+    schedule; ``backend="objects"`` is the original per-send loop, kept
+    as the oracle.
 
     Parameters
     ----------
@@ -45,21 +55,60 @@ def schedule_from_tree(
     """
     params = tree.params
     g = params.g
-    proc = (lambda i: i) if proc_map is None else (lambda i: proc_map[i])
-    schedule = Schedule(
-        params=params,
-        initial={proc(0): {item}},
+    if backend == "objects":
+        proc = (lambda i: i) if proc_map is None else (lambda i: proc_map[i])
+        schedule = Schedule(
+            params=params,
+            initial={proc(0): {item}},
+            source_items={item: start_time},
+        )
+        for node in tree.nodes:
+            for j, child in enumerate(node.children):
+                schedule.add(
+                    time=start_time + node.delay + j * g,
+                    src=proc(node.index),
+                    dst=proc(child),
+                    item=item,
+                )
+        return schedule
+    if backend != "columnar":
+        raise ValueError(f"unknown backend {backend!r}")
+    n_nodes = len(tree.nodes)
+    degrees = np.fromiter(
+        (len(node.children) for node in tree.nodes), dtype=np.int64, count=n_nodes
+    )
+    total = int(degrees.sum())
+    src_nodes = np.repeat(np.arange(n_nodes, dtype=np.int64), degrees)
+    dst_nodes = np.fromiter(
+        (child for node in tree.nodes for child in node.children),
+        dtype=np.int64,
+        count=total,
+    )
+    # j = each send's rank among its node's children
+    group_starts = np.cumsum(degrees) - degrees
+    ranks = np.arange(total, dtype=np.int64) - np.repeat(group_starts, degrees)
+    delays = np.fromiter(
+        (node.delay for node in tree.nodes), dtype=np.int64, count=n_nodes
+    )
+    times = start_time + np.repeat(delays, degrees) + ranks * g
+    if proc_map is None:
+        root_proc = 0
+        srcs, dsts = src_nodes, dst_nodes
+    else:
+        root_proc = proc_map[0]
+        lut = np.fromiter(
+            (proc_map[i] for i in range(n_nodes)), dtype=np.int64, count=n_nodes
+        )
+        srcs, dsts = lut[src_nodes], lut[dst_nodes]
+    return Schedule.from_arrays(
+        params,
+        times,
+        srcs,
+        dsts,
+        item_table=ItemTable([item]),
+        initial={root_proc: {item}},
         source_items={item: start_time},
     )
-    for node in tree.nodes:
-        for j, child in enumerate(node.children):
-            schedule.add(
-                time=start_time + node.delay + j * g,
-                src=proc(node.index),
-                dst=proc(child),
-                item=item,
-            )
-    return schedule
 
 
 def optimal_broadcast_schedule(params: LogPParams) -> Schedule:

@@ -8,10 +8,11 @@ from repro.schedule.analysis import (
     item_delays,
     max_delay,
 )
+from repro.schedule.columnar import ItemTable, ScheduleColumns
 from repro.schedule.ops import ComputeOp, Schedule, SendOp
 
 __all__ = [
-    "Schedule", "SendOp", "ComputeOp",
+    "Schedule", "SendOp", "ComputeOp", "ItemTable", "ScheduleColumns",
     "availability", "completion_time", "item_completion_times",
     "item_delays", "max_delay", "broadcast_delay_per_proc",
 ]

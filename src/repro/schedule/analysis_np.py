@@ -6,17 +6,19 @@ continuous windows (hundreds of thousands of sends) wants vectorization.
 These functions return the same values as their scalar counterparts
 (property-tested) but operate on column arrays.
 
-Columns are materialized once per schedule via :func:`columns`, so
-repeated queries amortize the conversion.
+Columns live in :mod:`repro.schedule.columnar` and are cached *on the
+schedule* (:meth:`repro.schedule.ops.Schedule.columns`), so repeated
+queries — and the validator — share one conversion; array-backed
+schedules never convert at all.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Hashable
 
 import numpy as np
 
+from repro.schedule.columnar import ScheduleColumns
 from repro.schedule.ops import Schedule
 
 __all__ = [
@@ -41,52 +43,9 @@ __all__ = [
 FAST_PATH_THRESHOLD = 1024
 
 
-@dataclass
-class ScheduleColumns:
-    """Column-oriented view of a schedule's sends.
-
-    ``item_ids`` maps each distinct item to a dense integer id; the
-    ``items`` column stores those ids.
-    """
-
-    times: np.ndarray
-    srcs: np.ndarray
-    dsts: np.ndarray
-    items: np.ndarray
-    arrivals: np.ndarray
-    item_ids: dict[Hashable, int]
-    num_procs: int
-
-
 def columns(schedule: Schedule) -> ScheduleColumns:
-    """Convert a schedule to column arrays (one pass)."""
-    sends = schedule.sends
-    n = len(sends)
-    times = np.fromiter((op.time for op in sends), dtype=np.int64, count=n)
-    srcs = np.fromiter((op.src for op in sends), dtype=np.int64, count=n)
-    dsts = np.fromiter((op.dst for op in sends), dtype=np.int64, count=n)
-    item_ids: dict[Hashable, int] = {}
-    items = np.fromiter(
-        (
-            item_ids.setdefault(op.item, len(item_ids))
-            for op in sends
-        ),
-        dtype=np.int64,
-        count=n,
-    )
-    cost = schedule.params.send_cost
-    arrivals = times + cost
-    num_procs = int(max(srcs.max(initial=-1), dsts.max(initial=-1))) + 1 if n else 0
-    num_procs = max(num_procs, (max(schedule.initial) + 1) if schedule.initial else 0)
-    return ScheduleColumns(
-        times=times,
-        srcs=srcs,
-        dsts=dsts,
-        items=items,
-        arrivals=arrivals,
-        item_ids=item_ids,
-        num_procs=num_procs,
-    )
+    """The schedule's cached column view (see :meth:`Schedule.columns`)."""
+    return schedule.columns()
 
 
 def availability_arrays(

@@ -1,11 +1,26 @@
 """Schedule intermediate representation.
 
 All algorithms in this library — the paper's optimal constructions and the
-baselines alike — emit the same IR: a :class:`Schedule` holding a list of
+baselines alike — emit the same IR: a :class:`Schedule` holding
 :class:`SendOp` records plus the machine parameters and the initial item
 placement.  The simulator (:mod:`repro.sim`) replays this IR, enforcing
 every LogP constraint, and the analysis helpers compute completion times
 and per-item delays from it.
+
+Two storage modes back the same interface:
+
+* **object-backed** (the default): a plain list of frozen ``SendOp``
+  dataclasses, built one :meth:`Schedule.add` at a time;
+* **array-backed** (:meth:`Schedule.from_arrays`): struct-of-arrays
+  ``int64`` columns from :mod:`repro.schedule.columnar`, used by the
+  vectorized builders.  ``schedule.sends`` lazily materializes the
+  ``SendOp`` objects on first access, so legacy consumers see no
+  difference; vectorized consumers read :meth:`Schedule.columns` and
+  never pay for the objects.
+
+``columns()``, ``sorted_sends()`` and ``sends_by_proc()`` are cached and
+invalidated on :meth:`add`/:meth:`extend` (or when the send count
+changes), so repeated validate/analyze calls stop re-deriving them.
 
 Timing convention (integer cycles):
 
@@ -21,10 +36,15 @@ available at ``s + L``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Hashable, Iterable, Iterator
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Hashable, Iterable, Iterator
+
+import numpy as np
 
 from repro.params import LogPParams
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.schedule.columnar import ItemTable, ScheduleColumns
 
 __all__ = ["SendOp", "ComputeOp", "Schedule"]
 
@@ -68,7 +88,12 @@ class ComputeOp:
     duration: int = 1
 
 
-@dataclass
+def _chronological(op: SendOp) -> tuple[int, int, int]:
+    # sort key for replay order: (time, src, dst), ties kept in storage
+    # order — total even when distinct items are not mutually orderable
+    return (op.time, op.src, op.dst)
+
+
 class Schedule:
     """A complete communication (and optionally computation) schedule.
 
@@ -88,30 +113,139 @@ class Schedule:
         the source.  Items default to being available at time 0.
     """
 
-    params: LogPParams
-    sends: list[SendOp] = field(default_factory=list)
-    initial: dict[int, set[Item]] = field(default_factory=dict)
-    computes: list[ComputeOp] = field(default_factory=list)
-    source_items: dict[Item, int] = field(default_factory=dict)
+    def __init__(
+        self,
+        params: LogPParams,
+        sends: list[SendOp] | None = None,
+        initial: dict[int, set[Item]] | None = None,
+        computes: list[ComputeOp] | None = None,
+        source_items: dict[Item, int] | None = None,
+    ):
+        self.params = params
+        self.initial = initial if initial else {0: {0}}
+        self.computes = computes if computes is not None else []
+        self.source_items = source_items if source_items is not None else {}
+        self._sends: list[SendOp] | None = (
+            sends if isinstance(sends, list) else list(sends or [])
+        )
+        self._columns: ScheduleColumns | None = None
+        self._sorted: list[SendOp] | None = None
+        self._by_proc: dict[int, list[SendOp]] | None = None
 
-    def __post_init__(self) -> None:
-        if not self.initial:
-            self.initial = {0: {0}}
+    @classmethod
+    def from_arrays(
+        cls,
+        params: LogPParams,
+        times: np.ndarray,
+        srcs: np.ndarray,
+        dsts: np.ndarray,
+        item_codes: np.ndarray | None = None,
+        item_table: ItemTable | None = None,
+        initial: dict[int, set[Item]] | None = None,
+        computes: list[ComputeOp] | None = None,
+        source_items: dict[Item, int] | None = None,
+    ) -> Schedule:
+        """Build an array-backed schedule from ``int64`` column arrays.
+
+        ``item_codes[i]`` indexes ``item_table``; omit both for the
+        classic single-item (item ``0``) case.  ``SendOp`` objects are
+        only created if ``schedule.sends`` is later touched.
+        """
+        from repro.schedule.columnar import arrays_to_columns
+
+        schedule = cls(
+            params=params,
+            initial=initial,
+            computes=computes,
+            source_items=source_items,
+        )
+        schedule._sends = None
+        schedule._columns = arrays_to_columns(
+            params, times, srcs, dsts, item_codes, item_table, schedule.initial
+        )
+        return schedule
+
+    # -- storage ---------------------------------------------------------
+
+    @property
+    def sends(self) -> list[SendOp]:
+        """The send list (lazily materialized for array-backed schedules)."""
+        if self._sends is None:
+            from repro.schedule.columnar import materialize_sends
+
+            self._sends = materialize_sends(self._columns)
+        return self._sends
+
+    @sends.setter
+    def sends(self, value: Iterable[SendOp]) -> None:
+        self._sends = value if isinstance(value, list) else list(value)
+        self._invalidate()
+
+    @property
+    def num_sends(self) -> int:
+        """Send count without materializing an array-backed schedule."""
+        if self._sends is None:
+            return len(self._columns.times)
+        return len(self._sends)
+
+    @property
+    def is_array_backed(self) -> bool:
+        """True while the columns are the only storage (nothing materialized)."""
+        return self._sends is None
+
+    def columns(self) -> ScheduleColumns:
+        """The cached column view consumed by the vectorized kernels.
+
+        Array-backed schedules return their storage directly (zero-copy);
+        object-backed schedules convert once and reuse the result until
+        the send count changes.
+        """
+        if self._columns is not None and (
+            self._sends is None or len(self._columns) == len(self._sends)
+        ):
+            return self._columns
+        from repro.schedule.columnar import sends_to_columns
+
+        self._columns = sends_to_columns(self._sends, self.params, self.initial)
+        return self._columns
+
+    def _invalidate(self) -> None:
+        if self._sends is not None:
+            self._columns = None
+        self._sorted = None
+        self._by_proc = None
+
+    # -- mutation --------------------------------------------------------
 
     def add(self, time: int, src: int, dst: int, item: Item = 0) -> SendOp:
         op = SendOp(time=time, src=src, dst=dst, item=item)
         self.sends.append(op)
+        self._invalidate()
         return op
 
+    def extend(self, ops: Iterable[SendOp]) -> None:
+        self.sends.extend(ops)
+        self._invalidate()
+
+    # -- derived views (cached) ------------------------------------------
+
     def sorted_sends(self) -> list[SendOp]:
-        return sorted(self.sends)
+        """Sends in replay order ``(time, src, dst)`` (cached; read-only)."""
+        if self._sorted is None or len(self._sorted) != self.num_sends:
+            self._sorted = sorted(self.sends, key=_chronological)
+        return self._sorted
 
     def sends_by_proc(self) -> dict[int, list[SendOp]]:
-        """Map processor -> its outgoing sends in chronological order."""
-        out: dict[int, list[SendOp]] = {}
-        for op in self.sorted_sends():
-            out.setdefault(op.src, []).append(op)
-        return out
+        """Map processor -> its outgoing sends in chronological order
+        (cached; treat as read-only)."""
+        if self._by_proc is None or sum(
+            len(ops) for ops in self._by_proc.values()
+        ) != self.num_sends:
+            out: dict[int, list[SendOp]] = {}
+            for op in self.sorted_sends():
+                out.setdefault(op.src, []).append(op)
+            self._by_proc = out
+        return self._by_proc
 
     def receives_by_proc(self) -> dict[int, list[SendOp]]:
         """Map processor -> incoming sends ordered by receive time."""
@@ -122,29 +256,62 @@ class Schedule:
             ops.sort(key=lambda op: (op.receive_start(self.params), op.src))
         return incoming
 
+    # -- queries ---------------------------------------------------------
+
     def items(self) -> set[Item]:
         found: set[Item] = set()
         for items in self.initial.values():
             found |= items
-        for op in self.sends:
-            found.add(op.item)
+        if self._sends is None:
+            cols = self._columns
+            table = cols.table.items
+            found.update(table[c] for c in np.unique(cols.items).tolist())
+        else:
+            for op in self._sends:
+                found.add(op.item)
         return found
 
     def processors(self) -> set[int]:
         procs = set(self.initial)
-        for op in self.sends:
-            procs.add(op.src)
-            procs.add(op.dst)
+        if self._sends is None:
+            cols = self._columns
+            procs.update(np.unique(cols.srcs).tolist())
+            procs.update(np.unique(cols.dsts).tolist())
+        else:
+            for op in self._sends:
+                procs.add(op.src)
+                procs.add(op.dst)
         return procs
 
     def item_creation_time(self, item: Item) -> int:
         return self.source_items.get(item, 0)
 
+    # -- protocol --------------------------------------------------------
+
     def __len__(self) -> int:
-        return len(self.sends)
+        return self.num_sends
 
     def __iter__(self) -> Iterator[SendOp]:
         return iter(self.sorted_sends())
 
-    def extend(self, ops: Iterable[SendOp]) -> None:
-        self.sends.extend(ops)
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schedule):
+            return NotImplemented
+        return (
+            self.params == other.params
+            and self.sends == other.sends
+            and self.initial == other.initial
+            and self.computes == other.computes
+            and self.source_items == other.source_items
+        )
+
+    __hash__ = None  # mutable container, like the previous dataclass
+
+    def __repr__(self) -> str:
+        backing = "arrays" if self._sends is None else "objects"
+        return (
+            f"Schedule(params={self.params!r}, sends=<{self.num_sends} ops, "
+            f"{backing}>, initial={len(self.initial)} procs, "
+            f"computes={len(self.computes)}, "
+            f"source_items={len(self.source_items)})"
+        )

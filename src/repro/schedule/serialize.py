@@ -50,7 +50,18 @@ def _decode_item(obj: Any) -> Any:
 
 
 def schedule_to_json(schedule: Schedule) -> str:
-    """Serialize a schedule to a JSON string."""
+    """Serialize a schedule to a JSON string.
+
+    Sends are emitted in replay order straight from the schedule's cached
+    column arrays (each distinct item is encoded once via the interning
+    table), so array-backed schedules serialize without ever
+    materializing ``SendOp`` objects.
+    """
+    from repro.schedule.columnar import sort_order
+
+    cols = schedule.columns()
+    order = sort_order(cols)
+    encoded_items = [_encode_item(item) for item in cols.table.items]
     payload = {
         "format": FORMAT,
         "params": {
@@ -68,8 +79,13 @@ def schedule_to_json(schedule: Schedule) -> str:
             for item, when in sorted(schedule.source_items.items(), key=repr)
         ],
         "sends": [
-            [op.time, op.src, op.dst, _encode_item(op.item)]
-            for op in schedule.sorted_sends()
+            [t, s, d, encoded_items[c]]
+            for t, s, d, c in zip(
+                cols.times[order].tolist(),
+                cols.srcs[order].tolist(),
+                cols.dsts[order].tolist(),
+                cols.items[order].tolist(),
+            )
         ],
     }
     return json.dumps(payload)
@@ -93,8 +109,10 @@ def schedule_from_json(text: str) -> Schedule:
             _decode_item(item): when for item, when in payload["source_items"]
         },
     )
-    for time, src, dst, item in payload["sends"]:
-        schedule.add(time=time, src=src, dst=dst, item=_decode_item(item))
+    schedule.extend(
+        SendOp(time=time, src=src, dst=dst, item=_decode_item(item))
+        for time, src, dst, item in payload["sends"]
+    )
     return schedule
 
 

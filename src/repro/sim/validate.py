@@ -57,7 +57,7 @@ def violations(
 ) -> list[str]:
     """Return all LogP-model violations in ``schedule`` (empty if legal);
     auto-dispatches to the numpy engine for large schedules."""
-    if not force_scalar and len(schedule.sends) >= FAST_PATH_THRESHOLD:
+    if not force_scalar and schedule.num_sends >= FAST_PATH_THRESHOLD:
         from repro.sim.validate_np import violations_np
 
         return violations_np(schedule, check_capacity=check_capacity)

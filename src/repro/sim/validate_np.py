@@ -48,12 +48,12 @@ def _causality(
     selfsend = cols.srcs == cols.dsts
     if not (never.any() or early.any() or selfsend.any()):
         return
-    # format in the scalar path's order: sorted sends, causality before
-    # self-send per op
+    # format in the scalar path's order: replay order (time, src, dst)
+    # with positional tie-break, causality before self-send per op
     rev = [None] * n_items
     for item, idx in item_ids.items():
         rev[idx] = item
-    order = np.lexsort((cols.items, cols.dsts, cols.srcs, cols.times))
+    order = np.lexsort((cols.dsts, cols.srcs, cols.times))
     flagged = order[(never | early | selfsend)[order]]
     for i in flagged.tolist():
         t, src, dst = int(cols.times[i]), int(cols.srcs[i]), int(cols.dsts[i])

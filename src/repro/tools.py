@@ -38,6 +38,7 @@ MODULES = [
     "repro.core.summation.capacity",
     "repro.core.summation.schedule",
     "repro.schedule.ops",
+    "repro.schedule.columnar",
     "repro.schedule.analysis",
     "repro.schedule.analysis_np",
     "repro.schedule.transform",
