@@ -2,7 +2,7 @@
 
 PY ?= python3
 
-.PHONY: install test bench figures sweeps examples all clean
+.PHONY: install test lint bench figures sweeps examples all clean
 
 install:
 	$(PY) -m pip install -e . --no-build-isolation
@@ -10,8 +10,28 @@ install:
 test:
 	$(PY) -m pytest tests/
 
+# Static gates: AST hot-loop check + builder lint smoke always run
+# (stdlib/numpy only); ruff and mypy run when installed, else are
+# skipped loudly — CI installs both, so nothing is skipped there.
+lint:
+	$(PY) tools/lint_hot_loops.py
+	@for b in bcast kitem all-to-all summation allreduce; do \
+		echo "== lint --builder $$b"; \
+		PYTHONPATH=src $(PY) -m repro.cli lint --builder $$b || exit 1; \
+	done
+	@if $(PY) -m ruff --version >/dev/null 2>&1; then \
+		$(PY) -m ruff check src tests tools || exit 1; \
+	else \
+		echo "SKIP: ruff not installed (CI runs it)"; \
+	fi
+	@if $(PY) -m mypy --version >/dev/null 2>&1; then \
+		$(PY) -m mypy || exit 1; \
+	else \
+		echo "SKIP: mypy not installed (CI runs it)"; \
+	fi
+
 bench:
-	PYTHONPATH=src $(PY) -m repro.cli bench --out BENCH_PR2.json
+	PYTHONPATH=src $(PY) -m repro.cli bench --out BENCH.json
 	PYTHONPATH=src $(PY) -m pytest -m perf benchmarks/test_perf_regression.py
 
 bench-micro:

@@ -100,3 +100,18 @@ def test_bench_scenarios_produce_legal_schedules():
     assert row["sends"] == 64 * 63
     assert row["simulate_sends"] == 64 * 63
     assert row["validate_speedup"] > 1.0
+
+
+def test_lint_sweep_under_one_second_on_p1024_all_to_all():
+    """PR-3 acceptance: the full static rule sweep over the P=1024
+    all-to-all (~1M sends) finishes in under a second, consuming the
+    columnar storage zero-copy (no SendOp materialization)."""
+    from repro.analyze import lint_schedule
+
+    schedule = all_to_all_schedule(postal(P=1024, L=4))
+    assert schedule.is_array_backed
+    elapsed, report = time_call(lambda: lint_schedule(schedule))
+    assert report.max_severity is None
+    assert schedule.is_array_backed  # lint never touched .sends
+    assert report.num_sends == 1024 * 1023
+    assert elapsed < 1.0, f"lint sweep took {elapsed:.3f}s (budget 1.0s)"

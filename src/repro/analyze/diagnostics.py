@@ -1,0 +1,156 @@
+"""Diagnostic records emitted by the schedule lint engine.
+
+A :class:`Diagnostic` is one structured finding: which rule fired, how
+severe it is, where in the schedule it points (send indices into the
+*storage order* of :class:`~repro.schedule.columnar.ScheduleColumns`),
+a human-readable message, and an optional fix-it hint.  A
+:class:`LintReport` bundles the diagnostics of one engine run together
+with per-rule totals (rules cap how many diagnostics they *emit*, never
+how many they *count*), so large pathological schedules stay cheap to
+report without losing information.
+
+Severity semantics:
+
+* :attr:`Severity.ERROR` — the schedule is structurally broken (acausal
+  provenance, self-sends, negative times).  Every paper builder must be
+  error-free; CI enforces this.
+* :attr:`Severity.WARNING` — legal but almost certainly wasteful or
+  unintended (dead sends, duplicate deliveries, missed closed-form
+  optimality, incomplete coverage).
+* :attr:`Severity.INFO` — advisory structure observations (slack
+  against the critical path, Theorem 3.2 endgame shape).  Transforms of
+  a clean schedule may legitimately introduce INFO findings (``concat``
+  inserts idle spacing by design), so invariance properties quantify
+  over WARNING and above.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["Severity", "Diagnostic", "LintReport", "MAX_EMITTED_PER_RULE"]
+
+#: Rules stop *emitting* (but keep counting) diagnostics past this many.
+MAX_EMITTED_PER_RULE = 50
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity, ordered so comparisons read naturally."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+    @property
+    def sarif_level(self) -> str:
+        """The SARIF ``level`` string for this severity."""
+        return {
+            Severity.INFO: "note",
+            Severity.WARNING: "warning",
+            Severity.ERROR: "error",
+        }[self]
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {text!r}; expected one of "
+                f"{[s.name.lower() for s in cls]}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One structured lint finding.
+
+    ``sends`` are indices into the schedule's column storage order
+    (``schedule.columns()``), capped by the emitting rule; ``data``
+    carries rule-specific structured values (counts, bounds, times) so
+    downstream tooling never has to parse ``message``.
+    """
+
+    rule: str
+    severity: Severity
+    message: str
+    sends: tuple[int, ...] = ()
+    data: dict[str, Any] = field(default_factory=dict)
+    fixit: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "rule": self.rule,
+            "severity": self.severity.label,
+            "message": self.message,
+            "sends": list(self.sends),
+        }
+        if self.data:
+            out["data"] = self.data
+        if self.fixit is not None:
+            out["fixit"] = self.fixit
+        return out
+
+
+@dataclass
+class LintReport:
+    """All diagnostics from one lint run, plus run metadata.
+
+    ``rule_totals`` maps rule id -> total findings *counted* (the
+    emitted ``diagnostics`` list is capped per rule at
+    :data:`MAX_EMITTED_PER_RULE`); ``rules_run`` lists every rule that
+    executed, so "no diagnostics" is distinguishable from "rule never
+    applied".
+    """
+
+    diagnostics: list[Diagnostic]
+    rules_run: list[str]
+    rule_totals: dict[str, int]
+    num_sends: int
+    workload: str
+    elapsed_s: float = 0.0
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def count(self, severity: Severity) -> int:
+        """Total findings (uncapped) at exactly ``severity``."""
+        by_rule: dict[str, Severity] = {}
+        for diag in self.diagnostics:
+            by_rule.setdefault(diag.rule, diag.severity)
+        return sum(
+            total
+            for rule, total in self.rule_totals.items()
+            if total and by_rule.get(rule) == severity
+        )
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.WARNING]
+
+    @property
+    def max_severity(self) -> Severity | None:
+        """Highest severity present, or ``None`` for a clean report."""
+        if not self.diagnostics:
+            return None
+        return max(d.severity for d in self.diagnostics)
+
+    def at_least(self, severity: Severity) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity >= severity]
+
+    def rule_ids(self) -> list[str]:
+        """Sorted distinct rule ids that fired (the corpus-pinned view)."""
+        return sorted({d.rule for d in self.diagnostics})

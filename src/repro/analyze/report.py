@@ -1,0 +1,112 @@
+"""Render lint reports: human text and SARIF-shaped JSON.
+
+The text form is deliberately byte-stable (sorted diagnostics, fixed
+field order, no timestamps) so the corpus tests in
+``tests/test_lint_corpus.py`` can pin it across refactors.  The JSON
+form follows the SARIF 2.1.0 shape (``runs[].tool.driver.rules`` +
+``runs[].results``) closely enough for SARIF-aware viewers to ingest,
+with send indices carried as logical locations — schedules have no
+files or line numbers, so physical locations are omitted.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.analyze.diagnostics import LintReport, Severity
+from repro.analyze.rules import RULES
+
+__all__ = ["render_text", "to_sarif", "sarif_json"]
+
+
+def render_text(report: LintReport, verbose: bool = False) -> str:
+    """One line per diagnostic plus a summary (stable across runs)."""
+    lines = [
+        f"schedule-lint: {report.num_sends} sends, "
+        f"workload={report.workload}, {len(report.rules_run)} rules run"
+    ]
+    for diag in report.diagnostics:
+        lines.append(f"{diag.rule} {diag.severity.label}: {diag.message}")
+        if verbose and diag.fixit:
+            lines.append(f"    fix: {diag.fixit}")
+    for rule_id in sorted(report.rule_totals):
+        total = report.rule_totals[rule_id]
+        emitted = sum(1 for d in report.diagnostics if d.rule == rule_id)
+        if total > emitted:
+            lines.append(
+                f"{rule_id}: {total - emitted} further findings not shown "
+                f"({total} total)"
+            )
+    errors = report.count(Severity.ERROR)
+    warnings = report.count(Severity.WARNING)
+    infos = report.count(Severity.INFO)
+    lines.append(f"summary: {errors} errors, {warnings} warnings, {infos} info")
+    return "\n".join(lines)
+
+
+def to_sarif(report: LintReport) -> dict[str, Any]:
+    """The report as a SARIF-2.1.0-shaped dict (see module docstring)."""
+    ran = set(report.rules_run)
+    rules_meta = [
+        {
+            "id": rule.id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.summary},
+            "defaultConfiguration": {"level": rule.severity.sarif_level},
+        }
+        for rule in RULES
+        if rule.id in ran
+    ]
+    results = []
+    for diag in report.diagnostics:
+        result: dict[str, Any] = {
+            "ruleId": diag.rule,
+            "level": diag.severity.sarif_level,
+            "message": {"text": diag.message},
+            "locations": [
+                {
+                    "logicalLocations": [
+                        {"name": f"send[{index}]", "index": index}
+                    ]
+                }
+                for index in diag.sends
+            ],
+        }
+        if diag.data:
+            result["properties"] = diag.data
+        if diag.fixit:
+            result["fixes"] = [{"description": {"text": diag.fixit}}]
+        results.append(result)
+    return {
+        "version": "2.1.0",
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-schedule-lint",
+                        "informationUri": (
+                            "https://doi.org/10.1145/165231.165250"
+                        ),
+                        "rules": rules_meta,
+                    }
+                },
+                "results": results,
+                "properties": {
+                    "numSends": report.num_sends,
+                    "workload": report.workload,
+                    "rulesRun": report.rules_run,
+                    "ruleTotals": report.rule_totals,
+                },
+            }
+        ],
+    }
+
+
+def sarif_json(report: LintReport, indent: int | None = 2) -> str:
+    """The SARIF dict serialized to JSON text."""
+    return json.dumps(to_sarif(report), indent=indent, sort_keys=False)

@@ -1,0 +1,536 @@
+"""The schedule lint rules (tier 1 of the static-analysis engine).
+
+Each rule is a pure function from :class:`~repro.analyze.context.LintContext`
+to a capped list of :class:`~repro.analyze.diagnostics.Diagnostic` plus
+the *uncapped* total, registered in :data:`RULES`.  All rules are
+vectorized over the columnar IR: per-send work happens in numpy, and
+Python-level formatting only ever touches flagged sends (at most
+:data:`~repro.analyze.diagnostics.MAX_EMITTED_PER_RULE` per rule), so a
+clean million-send schedule sweeps in milliseconds.
+
+Rule catalogue (severities in :mod:`repro.analyze.diagnostics`):
+
+========== ========= ==================================================
+id         severity  checks
+========== ========= ==================================================
+SCHED001   error     non-causal provenance: sender lacks the item
+SCHED002   error     self-send
+SCHED003   error     send scheduled before cycle 0
+SCHED004   warning   dead send: destination already holds the item
+SCHED005   warning   duplicate delivery of one (dst, item) pair
+SCHED006   info      single-sending violation (k-item source resends)
+SCHED007   info      idle slack against the earliest-start critical path
+SCHED008   warning   completion vs. the paper's closed-form lower bounds
+SCHED009   info      Theorem 3.2 endgame structure for k-item schedules
+SCHED010   warning   incomplete coverage: an item misses processors
+========== ========= ==================================================
+
+The closed forms behind SCHED008: ``B(P; L, o, g)`` (Theorem 2.1) for
+single-item broadcast, Theorem 3.1's counting bound — tightened to the
+Theorem 3.6/3.7 single-sending bound when the source actually is
+single-sending — for k-item postal broadcast, and
+``L + 2o + (m(P-1) - 1) g`` (Section 4.1) for m-item all-to-all.
+
+SCHED006 is INFO, not an error: single-sending (Section 3.4) is a
+*restricted schedule class*, so falling outside it is an observation
+about structure, not a defect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.analyze.context import LintContext, Workload
+from repro.analyze.diagnostics import (
+    MAX_EMITTED_PER_RULE,
+    Diagnostic,
+    Severity,
+)
+from repro.core.all_to_all import all_to_all_lower_bound
+from repro.core.fib import (
+    broadcast_time,
+    kitem_lower_bound,
+    single_sending_lower_bound,
+)
+
+__all__ = ["Rule", "RULES", "rule_ids", "get_rule"]
+
+RuleFn = Callable[[LintContext], tuple[list[Diagnostic], int]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered lint rule (id, fixed severity, runner)."""
+
+    id: str
+    name: str
+    severity: Severity
+    summary: str
+    run: RuleFn
+    workloads: tuple[str, ...] = ()  # empty = applies to every workload
+
+    def applies(self, ctx: LintContext) -> bool:
+        if len(ctx) == 0:
+            return False
+        return not self.workloads or ctx.workload in self.workloads
+
+
+def _flagged_in_replay_order(
+    ctx: LintContext, mask: np.ndarray
+) -> tuple[list[int], int]:
+    """Flagged storage indices in replay order, capped; plus the total."""
+    total = int(mask.sum())
+    if total == 0:
+        return [], 0
+    order = ctx.replay_order
+    flagged = order[mask[order]]
+    return flagged[:MAX_EMITTED_PER_RULE].tolist(), total
+
+
+# -- SCHED001: non-causal provenance ------------------------------------
+
+
+def _rule_non_causal(ctx: LintContext) -> tuple[list[Diagnostic], int]:
+    found, have = ctx.send_avail
+    never = ~found
+    early = found & (ctx.cols.times < have)
+    indices, total = _flagged_in_replay_order(ctx, never | early)
+    diags = []
+    for i in indices:
+        if never[i]:
+            msg = (
+                f"non-causal: {ctx.describe_send(i)} — the sender never "
+                f"holds this item"
+            )
+            fixit = "route the item to the sender first, or drop the send"
+        else:
+            msg = (
+                f"non-causal: {ctx.describe_send(i)} — the sender only "
+                f"holds the item from t={int(have[i])}"
+            )
+            fixit = f"delay the send to t>={int(have[i])}"
+        diags.append(
+            Diagnostic(
+                rule="SCHED001",
+                severity=Severity.ERROR,
+                message=msg,
+                sends=(i,),
+                data={"holds_from": None if never[i] else int(have[i])},
+                fixit=fixit,
+            )
+        )
+    return diags, total
+
+
+# -- SCHED002: self-send -------------------------------------------------
+
+
+def _rule_self_send(ctx: LintContext) -> tuple[list[Diagnostic], int]:
+    indices, total = _flagged_in_replay_order(
+        ctx, ctx.cols.srcs == ctx.cols.dsts
+    )
+    return [
+        Diagnostic(
+            rule="SCHED002",
+            severity=Severity.ERROR,
+            message=f"self-send: {ctx.describe_send(i)}",
+            sends=(i,),
+            fixit="drop the send; a processor already holds what it sends",
+        )
+        for i in indices
+    ], total
+
+
+# -- SCHED003: negative time ---------------------------------------------
+
+
+def _rule_negative_time(ctx: LintContext) -> tuple[list[Diagnostic], int]:
+    indices, total = _flagged_in_replay_order(ctx, ctx.cols.times < 0)
+    return [
+        Diagnostic(
+            rule="SCHED003",
+            severity=Severity.ERROR,
+            message=f"negative time: {ctx.describe_send(i)} starts before cycle 0",
+            sends=(i,),
+            fixit="shift the schedule so every send starts at t>=0",
+        )
+        for i in indices
+    ], total
+
+
+# -- SCHED004: dead sends ------------------------------------------------
+
+
+def _rule_dead_send(ctx: LintContext) -> tuple[list[Diagnostic], int]:
+    first = ctx.dst_first_avail
+    dead = first <= ctx.cols.times
+    indices, total = _flagged_in_replay_order(ctx, dead)
+    return [
+        Diagnostic(
+            rule="SCHED004",
+            severity=Severity.WARNING,
+            message=(
+                f"dead send: {ctx.describe_send(i)} — the destination "
+                f"already holds the item (since t={int(first[i])}), so "
+                f"this send informs no new processor"
+            ),
+            sends=(i,),
+            data={"held_since": int(first[i])},
+            fixit="drop the send or retarget it at an uninformed processor",
+        )
+        for i in indices
+    ], total
+
+
+# -- SCHED005: duplicate delivery ----------------------------------------
+
+
+def _rule_duplicate_delivery(ctx: LintContext) -> tuple[list[Diagnostic], int]:
+    n = len(ctx)
+    keys = ctx.dst_keys
+    # within each (dst, item) group the earliest arrival (ties: storage
+    # order, lexsort is stable) is the primary delivery; later copies and
+    # any delivery of an initially-held pair are duplicates
+    order = np.lexsort((ctx.cols.arrivals, keys))
+    k_sorted = keys[order]
+    later_copy_sorted = np.concatenate(
+        ([False], k_sorted[1:] == k_sorted[:-1])
+    )
+    dup = np.zeros(n, dtype=bool)
+    dup[order] = later_copy_sorted
+    if len(ctx.initial_keys):
+        dup |= np.isin(keys, ctx.initial_keys)
+    indices, total = _flagged_in_replay_order(ctx, dup)
+    first = ctx.dst_first_avail
+    return [
+        Diagnostic(
+            rule="SCHED005",
+            severity=Severity.WARNING,
+            message=(
+                f"duplicate delivery: {ctx.describe_send(i)} — the "
+                f"destination is already delivered this item "
+                f"(first held at t={int(first[i])})"
+            ),
+            sends=(i,),
+            data={"first_held": int(first[i])},
+            fixit="each (destination, item) pair should be delivered once",
+        )
+        for i in indices
+    ], total
+
+
+# -- SCHED006: single-sending violations ---------------------------------
+
+
+def _rule_single_sending(ctx: LintContext) -> tuple[list[Diagnostic], int]:
+    source = ctx.source
+    assert source is not None  # guarded by workloads=("kitem",)
+    cols = ctx.cols
+    from_source = cols.srcs == source
+    counts = ctx.source_item_send_counts
+    offenders = np.flatnonzero(counts >= 2)
+    total = len(offenders)
+    diags = []
+    for code in offenders[:MAX_EMITTED_PER_RULE].tolist():
+        sends = np.flatnonzero(from_source & (cols.items == code))
+        diags.append(
+            Diagnostic(
+                rule="SCHED006",
+                severity=Severity.INFO,
+                message=(
+                    f"single-sending violation: the source (proc {source}) "
+                    f"transmits item {cols.table.items[code]!r} "
+                    f"{int(counts[code])} times (Section 3.4 schedules "
+                    f"send each item exactly once)"
+                ),
+                sends=tuple(sends[:10].tolist()),
+                data={"times_sent": int(counts[code])},
+                fixit="let an informed relay forward the repeat copies",
+            )
+        )
+    return diags, total
+
+
+# -- SCHED007: idle slack vs. the earliest-start critical path -----------
+
+
+def _rule_idle_slack(ctx: LintContext) -> tuple[list[Diagnostic], int]:
+    cols = ctx.cols
+    n = len(ctx)
+    g = ctx.params.g
+    start = ctx.start_time
+    found, have = ctx.send_avail
+    # earliest legal start per send: the item is in hand, the schedule
+    # has begun, and the sender's previous send is >= g behind
+    earliest = np.maximum(np.where(found, have, cols.times), start)
+    order = np.lexsort((cols.times, cols.srcs))
+    t_sorted = cols.times[order]
+    same_src = cols.srcs[order][1:] == cols.srcs[order][:-1]
+    gap_floor = np.full(n, start, dtype=np.int64)
+    gap_floor[1:] = np.where(same_src, t_sorted[:-1] + g, start)
+    earliest_sorted = np.maximum(earliest[order], gap_floor)
+    slack_sorted = np.maximum(t_sorted - earliest_sorted, 0)
+    slack = np.zeros(n, dtype=np.int64)
+    slack[order] = slack_sorted
+    flagged = int((slack > 0).sum())
+    if flagged == 0:
+        return [], 0
+    worst = np.argsort(-slack, kind="stable")[:10]
+    return [
+        Diagnostic(
+            rule="SCHED007",
+            severity=Severity.INFO,
+            message=(
+                f"idle slack: {flagged} of {n} sends start later than the "
+                f"earliest-start critical path allows "
+                f"(total {int(slack.sum())} idle cycles, worst "
+                f"{int(slack[worst[0]])} at {ctx.describe_send(int(worst[0]))})"
+            ),
+            sends=tuple(worst.tolist()),
+            data={
+                "sends_with_slack": flagged,
+                "total_slack": int(slack.sum()),
+                "max_slack": int(slack[worst[0]]),
+            },
+        )
+    ], 1
+
+
+# -- SCHED008: optimality gap vs. closed-form bounds ---------------------
+
+
+def _optimality_bound(ctx: LintContext) -> tuple[int, str] | None:
+    """The applicable closed-form lower bound, or ``None`` to skip."""
+    params = ctx.params
+    P = len(ctx.participants)
+    if P < 2:
+        return None
+    if ctx.workload == Workload.BROADCAST:
+        return broadcast_time(P, params), "B(P) (Thm 2.1)"
+    if ctx.workload == Workload.KITEM:
+        if not params.is_postal:
+            return None
+        k = ctx.n_items
+        counts = ctx.source_item_send_counts
+        if len(counts) and counts.max(initial=0) <= 1:
+            # the source really is single-sending, so the tighter
+            # B(P-1) + L + k - 1 bound (Thms 3.6/3.7) applies
+            return (
+                single_sending_lower_bound(P, params.L, k),
+                f"single-sending bound B(P-1)+L+k-1 (Thm 3.6/3.7, k={k})",
+            )
+        return (
+            kitem_lower_bound(P, params.L, k),
+            f"k-item counting bound (Thm 3.1, k={k})",
+        )
+    if ctx.workload == Workload.SCATTERED:
+        # only a genuine all-to-all (every item reaches every participant,
+        # uniformly many items per processor) has a closed form
+        holders = ctx.holders_per_item
+        if len(holders) == 0 or not (holders == P).all():
+            return None
+        if ctx.n_items % P:
+            return None
+        m = ctx.n_items // P
+        if m == 1:
+            return all_to_all_lower_bound(params.with_processors(P)), (
+                "all-to-all bound L+2o+(P-2)g (S4.1)"
+            )
+        return (
+            params.send_cost + (m * (P - 1) - 1) * params.g,
+            f"{m}-item all-to-all bound L+2o+({m}(P-1)-1)g (S4.1)",
+        )
+    return None
+
+
+def _rule_optimality_gap(ctx: LintContext) -> tuple[list[Diagnostic], int]:
+    bound_kind = _optimality_bound(ctx)
+    if bound_kind is None:
+        return [], 0
+    bound, kind = bound_kind
+    makespan = ctx.makespan
+    gap = makespan - bound
+    if gap == 0:
+        return [], 0
+    if gap > 0:
+        msg = (
+            f"optimality gap: completes in {makespan} cycles, "
+            f"{gap} above the {kind} lower bound of {bound}"
+        )
+        fixit = "compare against the paper's optimal construction"
+    else:
+        msg = (
+            f"impossible completion: {makespan} cycles is below the "
+            f"{kind} lower bound of {bound} — the schedule cannot be "
+            f"doing the detected workload"
+        )
+        fixit = "check the initial placement / workload detection"
+    return [
+        Diagnostic(
+            rule="SCHED008",
+            severity=Severity.WARNING,
+            message=msg,
+            data={"makespan": makespan, "bound": bound, "gap": gap},
+            fixit=fixit,
+        )
+    ], 1
+
+
+# -- SCHED009: Theorem 3.2 endgame structure -----------------------------
+
+
+def _rule_endgame_structure(ctx: LintContext) -> tuple[list[Diagnostic], int]:
+    if not ctx.params.is_postal:
+        return [], 0
+    source = ctx.source
+    assert source is not None  # guarded by workloads=("kitem",)
+    cols = ctx.cols
+    k = ctx.n_items
+    order = ctx.replay_order
+    src_order = order[cols.srcs[order] == source]
+    if len(src_order) < k:
+        return [], 0  # coverage (SCHED010) reports the missing items
+    first_k = src_order[:k]
+    items_first_k = cols.items[first_k]
+    distinct = len(np.unique(items_first_k))
+    if distinct == k:
+        return [], 0
+    # find the first repeat for the message (k is small; numpy scan)
+    seen_before = np.zeros(len(cols.table.items) + 1, dtype=bool)
+    repeat_pos = 0
+    for pos, code in enumerate(items_first_k.tolist()):
+        if seen_before[code]:
+            repeat_pos = pos
+            break
+        seen_before[code] = True
+    i = int(first_k[repeat_pos])
+    return [
+        Diagnostic(
+            rule="SCHED009",
+            severity=Severity.INFO,
+            message=(
+                f"endgame structure: the source's first {k} sends carry "
+                f"only {distinct} distinct items (repeat at "
+                f"{ctx.describe_send(i)}); Theorem 3.2's continuous phase "
+                f"sends all {k} items before any repeat"
+            ),
+            sends=(i,),
+            data={"k": k, "distinct_in_prefix": distinct},
+        )
+    ], 1
+
+
+# -- SCHED010: coverage --------------------------------------------------
+
+
+def _rule_coverage(ctx: LintContext) -> tuple[list[Diagnostic], int]:
+    holders = ctx.holders_per_item
+    P = len(ctx.participants)
+    missing = np.flatnonzero(holders < P)
+    total = len(missing)
+    return [
+        Diagnostic(
+            rule="SCHED010",
+            severity=Severity.WARNING,
+            message=(
+                f"incomplete coverage: item {ctx.item_of(int(code))!r} "
+                f"reaches only {int(holders[code])} of {P} participating "
+                f"processors"
+            ),
+            data={"holders": int(holders[code]), "participants": P},
+            fixit="extend the schedule until every processor is informed",
+        )
+        for code in missing[:MAX_EMITTED_PER_RULE].tolist()
+    ], total
+
+
+RULES: tuple[Rule, ...] = (
+    Rule(
+        id="SCHED001",
+        name="non-causal",
+        severity=Severity.ERROR,
+        summary="a processor sends an item before (or without ever) holding it",
+        run=_rule_non_causal,
+    ),
+    Rule(
+        id="SCHED002",
+        name="self-send",
+        severity=Severity.ERROR,
+        summary="a processor sends a message to itself",
+        run=_rule_self_send,
+    ),
+    Rule(
+        id="SCHED003",
+        name="negative-time",
+        severity=Severity.ERROR,
+        summary="a send starts before cycle 0",
+        run=_rule_negative_time,
+    ),
+    Rule(
+        id="SCHED004",
+        name="dead-send",
+        severity=Severity.WARNING,
+        summary="a send whose destination already holds the item",
+        run=_rule_dead_send,
+    ),
+    Rule(
+        id="SCHED005",
+        name="duplicate-delivery",
+        severity=Severity.WARNING,
+        summary="a (destination, item) pair is delivered more than once",
+        run=_rule_duplicate_delivery,
+    ),
+    Rule(
+        id="SCHED006",
+        name="single-sending",
+        severity=Severity.INFO,
+        summary="the k-item source transmits some item more than once",
+        run=_rule_single_sending,
+        workloads=(Workload.KITEM,),
+    ),
+    Rule(
+        id="SCHED007",
+        name="idle-slack",
+        severity=Severity.INFO,
+        summary="sends start later than the earliest-start critical path",
+        run=_rule_idle_slack,
+    ),
+    Rule(
+        id="SCHED008",
+        name="optimality-gap",
+        severity=Severity.WARNING,
+        summary="completion time misses the paper's closed-form lower bound",
+        run=_rule_optimality_gap,
+        workloads=(Workload.BROADCAST, Workload.KITEM, Workload.SCATTERED),
+    ),
+    Rule(
+        id="SCHED009",
+        name="endgame-structure",
+        severity=Severity.INFO,
+        summary="k-item source prefix violates Theorem 3.2's continuous phase",
+        run=_rule_endgame_structure,
+        workloads=(Workload.KITEM,),
+    ),
+    Rule(
+        id="SCHED010",
+        name="coverage",
+        severity=Severity.WARNING,
+        summary="an item fails to reach every participating processor",
+        run=_rule_coverage,
+        workloads=(Workload.BROADCAST, Workload.KITEM),
+    ),
+)
+
+
+def rule_ids() -> list[str]:
+    return [rule.id for rule in RULES]
+
+
+def get_rule(rule_id: str) -> Rule:
+    for rule in RULES:
+        if rule.id == rule_id:
+            return rule
+    raise KeyError(f"unknown rule {rule_id!r}; known: {rule_ids()}")

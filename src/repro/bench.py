@@ -14,7 +14,8 @@ a shallow ``sys.getsizeof`` estimate (list slot + ``SendOp`` instance;
 shared item payloads excluded) for the object path.
 
 Run via ``python -m repro.cli bench`` (or ``make bench``), which writes
-``BENCH_PR2.json`` (``BENCH_PR1.json`` is kept as the PR-1 baseline);
+``BENCH.json`` by default (the checked-in ``BENCH_PR1.json`` /
+``BENCH_PR2.json`` are kept as per-PR reference baselines);
 ``benchmarks/test_perf_regression.py`` asserts the headline speedups so
 they cannot silently regress.
 """

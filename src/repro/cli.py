@@ -8,10 +8,17 @@ Usage::
     python -m repro.cli plan-allreduce --P 9 --L 3
     python -m repro.cli figures    [--only 1 2 ...]
     python -m repro.cli sweeps
-    python -m repro.cli bench      [--out BENCH_PR2.json] [--repeat N] [--quick]
+    python -m repro.cli bench      [--out BENCH.json] [--repeat N] [--quick]
+    python -m repro.cli lint       <schedule.json> [--format text|json]
+    python -m repro.cli lint       --builder bcast --P 8 --L 6 --o 2 --g 4
 
 All plans are validated on the LogP simulator before being printed, so
-any output you see corresponds to a legal execution.
+any output you see corresponds to a legal execution.  The ``lint``
+subcommand is the exception by design: it runs the *static* rule sweep
+(:mod:`repro.analyze`) over a schedule — from a JSON file or built
+fresh with ``--builder bcast|kitem|all-to-all|summation|allreduce`` —
+with no simulation, and exits non-zero if anything at or above
+``--fail-on`` (default: ``error``) fires.
 """
 
 from __future__ import annotations
@@ -167,6 +174,49 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+LINT_BUILDERS = ("bcast", "kitem", "all-to-all", "summation", "allreduce")
+
+
+def _lint_target(args: argparse.Namespace):
+    """The schedule to lint: loaded from JSON or built by name."""
+    if args.schedule is not None:
+        from repro.schedule.serialize import load_schedule
+
+        return load_schedule(args.schedule)
+    machine = _machine(args)
+    if args.builder == "bcast":
+        return optimal_broadcast_schedule(machine)
+    if args.builder == "kitem":
+        return single_sending_schedule(args.k, args.P, args.L)
+    if args.builder == "all-to-all":
+        from repro.core.all_to_all import all_to_all_schedule
+
+        return all_to_all_schedule(machine)
+    if args.builder == "summation":
+        t = args.t if args.t is not None else min_summation_time(args.n, machine)
+        return summation_schedule(t, machine).to_schedule()
+    if args.builder == "allreduce":
+        T = combining_time(args.P, args.L)
+        return simulate_combining(T, args.L).schedule
+    raise ValueError(f"unknown builder {args.builder!r}")
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analyze import Severity, lint_schedule, render_text, sarif_json
+
+    schedule = _lint_target(args)
+    report = lint_schedule(
+        schedule, select=args.select or None, ignore=args.ignore or None
+    )
+    if args.format == "json":
+        print(sarif_json(report))
+    else:
+        print(render_text(report, verbose=args.verbose))
+    if args.fail_on == "never":
+        return 0
+    return 1 if report.at_least(Severity.parse(args.fail_on)) else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Optimal LogP collectives (SPAA'93 reproduction)"
@@ -217,10 +267,58 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_sweeps)
 
     p = sub.add_parser("bench", help="time build/validate/simulate at scale")
-    p.add_argument("--out", default="BENCH_PR2.json", help="output JSON path")
+    p.add_argument("--out", default="BENCH.json", help="output JSON path")
     p.add_argument("--repeat", type=int, default=1, help="best-of repetitions")
     p.add_argument("--quick", action="store_true", help="small sizes (smoke test)")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("lint", help="static rule sweep over a schedule")
+    p.add_argument(
+        "schedule",
+        nargs="?",
+        default=None,
+        help="schedule JSON file (logp-schedule/1); omit when using --builder",
+    )
+    p.add_argument(
+        "--builder",
+        choices=LINT_BUILDERS,
+        help="lint a freshly built paper schedule instead of a file",
+    )
+    p.add_argument("--P", type=int, default=8, help="processors (builders)")
+    p.add_argument("--L", type=int, default=6, help="latency (builders)")
+    p.add_argument("--o", type=int, default=0, help="overhead (builders)")
+    p.add_argument("--g", type=int, default=1, help="gap (builders)")
+    p.add_argument("--k", type=int, default=4, help="items (kitem builder)")
+    p.add_argument("--n", type=int, default=32, help="operands (summation builder)")
+    p.add_argument("--t", type=int, default=None, help="time budget (summation)")
+    p.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="text report or SARIF-shaped JSON",
+    )
+    p.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "info", "never"),
+        default="error",
+        help="minimum severity that makes the exit code non-zero",
+    )
+    p.add_argument(
+        "--select",
+        nargs="*",
+        metavar="RULE",
+        help="run only these rules (ids or names)",
+    )
+    p.add_argument(
+        "--ignore",
+        nargs="*",
+        metavar="RULE",
+        help="drop these rules from the sweep",
+    )
+    p.add_argument(
+        "--verbose", action="store_true", help="include fix-it hints in text output"
+    )
+    p.set_defaults(func=cmd_lint)
 
     return parser
 

@@ -15,7 +15,6 @@ from __future__ import annotations
 from typing import Hashable
 
 from repro.schedule import analysis_np as _np_kernels
-from repro.schedule.analysis_np import FAST_PATH_THRESHOLD
 from repro.schedule.ops import Schedule, SendOp
 
 __all__ = [
@@ -38,7 +37,7 @@ def availability(schedule: Schedule) -> dict[tuple[int, Item], int]:
     destination at ``time + L + 2o``.  If an item reaches a processor more
     than once, the earliest arrival wins.
     """
-    if schedule.num_sends >= FAST_PATH_THRESHOLD:
+    if schedule.num_sends >= _np_kernels.FAST_PATH_THRESHOLD:
         return _np_kernels.availability_np(schedule)
     avail: dict[tuple[int, Item], int] = {}
     for proc, items in schedule.initial.items():
@@ -58,7 +57,7 @@ def completion_time(schedule: Schedule) -> int:
     """Cycle at which the last payload lands (0 for an empty schedule)."""
     if not schedule.num_sends:
         return 0
-    if schedule.num_sends >= FAST_PATH_THRESHOLD:
+    if schedule.num_sends >= _np_kernels.FAST_PATH_THRESHOLD:
         return _np_kernels.completion_time_np(schedule.columns())
     return max(op.arrival(schedule.params) for op in schedule.sends)
 
@@ -71,7 +70,7 @@ def item_completion_times(schedule: Schedule, procs: set[int] | None = None) -> 
     """
     if procs is None:
         procs = schedule.processors()
-    if schedule.num_sends >= FAST_PATH_THRESHOLD:
+    if schedule.num_sends >= _np_kernels.FAST_PATH_THRESHOLD:
         return _np_kernels.item_completion_times_np(schedule, procs)
     avail = availability(schedule)
     out: dict[Item, int] = {}
@@ -107,7 +106,7 @@ def max_delay(schedule: Schedule, procs: set[int] | None = None) -> int:
 
 def broadcast_delay_per_proc(schedule: Schedule, item: Item = 0) -> dict[int, int]:
     """For a single-item broadcast: map proc -> time it first holds ``item``."""
-    if schedule.num_sends >= FAST_PATH_THRESHOLD:
+    if schedule.num_sends >= _np_kernels.FAST_PATH_THRESHOLD:
         return _np_kernels.broadcast_delay_np(schedule, item)
     avail = availability(schedule)
     return {

@@ -14,6 +14,7 @@ schedules never convert at all.
 
 from __future__ import annotations
 
+import os
 from typing import Hashable
 
 import numpy as np
@@ -40,7 +41,12 @@ __all__ = [
 #: Schedules with at least this many sends are routed through the numpy
 #: kernels by :mod:`repro.schedule.analysis` and :mod:`repro.sim.validate`.
 #: Below it the pure-Python paths win (no array-conversion overhead).
-FAST_PATH_THRESHOLD = 1024
+#: Overridable via the ``REPRO_FAST_PATH_THRESHOLD`` environment variable
+#: (read once at import; set it to ``0`` to force the numpy path
+#: everywhere, or to a huge value to pin the scalar path).  Dispatch
+#: sites read this attribute dynamically, so tests may also monkeypatch
+#: ``repro.schedule.analysis_np.FAST_PATH_THRESHOLD`` directly.
+FAST_PATH_THRESHOLD = int(os.environ.get("REPRO_FAST_PATH_THRESHOLD", "1024"))
 
 
 def columns(schedule: Schedule) -> ScheduleColumns:

@@ -44,6 +44,7 @@ import numpy as np
 from repro.params import LogPParams
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.analyze.diagnostics import LintReport
     from repro.schedule.columnar import ItemTable, ScheduleColumns
 
 __all__ = ["SendOp", "ComputeOp", "Schedule"]
@@ -286,6 +287,16 @@ class Schedule:
     def item_creation_time(self, item: Item) -> int:
         return self.source_items.get(item, 0)
 
+    def lint(self) -> "LintReport":
+        """Run the static rule sweep (:func:`repro.analyze.lint_schedule`).
+
+        Pure analysis over the cached column view — no simulation, and
+        array-backed schedules are not materialized.
+        """
+        from repro.analyze import lint_schedule
+
+        return lint_schedule(self)
+
     # -- protocol --------------------------------------------------------
 
     def __len__(self) -> int:
@@ -305,7 +316,8 @@ class Schedule:
             and self.source_items == other.source_items
         )
 
-    __hash__ = None  # mutable container, like the previous dataclass
+    # mutable container, like the previous dataclass
+    __hash__ = None  # type: ignore[assignment]
 
     def __repr__(self) -> str:
         backing = "arrays" if self._sends is None else "objects"

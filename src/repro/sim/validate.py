@@ -25,7 +25,9 @@ Schedules with at least
 :data:`repro.schedule.analysis_np.FAST_PATH_THRESHOLD` sends are checked
 by the vectorized engine (:mod:`repro.sim.validate_np`), which returns
 the same violation strings; pass ``force_scalar=True`` to pin the
-pure-Python path.
+pure-Python path, or set the ``REPRO_FAST_PATH_THRESHOLD`` environment
+variable (e.g. ``0`` to force the numpy engine everywhere) before the
+package is imported to move the dispatch cutoff.
 """
 
 from __future__ import annotations
@@ -33,7 +35,7 @@ from __future__ import annotations
 from typing import Hashable
 
 from repro.schedule.analysis import availability
-from repro.schedule.analysis_np import FAST_PATH_THRESHOLD
+from repro.schedule import analysis_np as _np_kernels
 from repro.schedule.ops import Schedule, SendOp
 
 __all__ = [
@@ -57,7 +59,7 @@ def violations(
 ) -> list[str]:
     """Return all LogP-model violations in ``schedule`` (empty if legal);
     auto-dispatches to the numpy engine for large schedules."""
-    if not force_scalar and schedule.num_sends >= FAST_PATH_THRESHOLD:
+    if not force_scalar and schedule.num_sends >= _np_kernels.FAST_PATH_THRESHOLD:
         from repro.sim.validate_np import violations_np
 
         return violations_np(schedule, check_capacity=check_capacity)

@@ -47,6 +47,12 @@ MODULES = [
     "repro.sim.validate",
     "repro.sim.validate_np",
     "repro.sim.trace",
+    "repro.analyze",
+    "repro.analyze.diagnostics",
+    "repro.analyze.context",
+    "repro.analyze.rules",
+    "repro.analyze.engine",
+    "repro.analyze.report",
     "repro.baselines.trees",
     "repro.baselines.kitem",
     "repro.baselines.summation",

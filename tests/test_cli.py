@@ -73,3 +73,55 @@ class TestCommands:
         assert "# LogP collectives report" in out
         assert "B(P) = 24" in out
         assert "Summation" in out
+
+
+class TestLintCommand:
+    def test_lint_builders_are_error_free(self, capsys):
+        for builder in ("bcast", "kitem", "all-to-all", "summation", "allreduce"):
+            assert main(["lint", "--builder", builder]) == 0, builder
+            out = capsys.readouterr().out
+            assert "summary: 0 errors" in out
+
+    def test_lint_from_file(self, tmp_path, capsys):
+        from repro.core.single_item import optimal_broadcast_schedule
+        from repro.params import LogPParams
+        from repro.schedule.serialize import dump_schedule
+
+        path = tmp_path / "bcast.json"
+        dump_schedule(
+            optimal_broadcast_schedule(LogPParams(P=8, L=6, o=2, g=4)), path
+        )
+        assert main(["lint", str(path)]) == 0
+        assert "workload=broadcast" in capsys.readouterr().out
+
+    def test_lint_fail_on_escalation(self, tmp_path, capsys):
+        from repro.params import postal
+        from repro.schedule.ops import Schedule, SendOp
+        from repro.schedule.serialize import dump_schedule
+
+        # legal but wasteful: proc 1 is delivered item 0 twice
+        sched = Schedule(
+            postal(3, 2),
+            sends=[SendOp(0, 0, 1, 0), SendOp(1, 0, 2, 0), SendOp(4, 2, 1, 0)],
+            initial={0: {0}},
+        )
+        path = tmp_path / "wasteful.json"
+        dump_schedule(sched, path)
+        assert main(["lint", str(path)]) == 0  # warnings pass --fail-on error
+        capsys.readouterr()
+        assert main(["lint", str(path), "--fail-on", "warning"]) == 1
+        out = capsys.readouterr().out
+        assert "SCHED005" in out
+        assert main(["lint", str(path), "--fail-on", "never"]) == 0
+
+    def test_lint_json_output_is_sarif(self, capsys):
+        import json
+
+        assert main(["lint", "--builder", "bcast", "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["tool"]["driver"]["name"] == "repro-schedule-lint"
+
+    def test_lint_select_unknown_rule_raises(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            main(["lint", "--builder", "bcast", "--select", "SCHED042"])

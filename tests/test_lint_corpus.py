@@ -1,0 +1,72 @@
+"""Corpus regression: known-bad schedules reproduce pinned diagnostics.
+
+Each ``tests/data/lint_corpus/<name>.json`` is a checked-in schedule
+with a deliberately planted defect (or, for ``clean``, none); the
+``expected.json`` manifest pins exactly which rule ids must fire.  The
+corpus locks the engine's verdicts across refactors: a rule that stops
+firing on its planted defect — or starts firing on the clean canary —
+fails here, not in production.
+
+The files are byte-stable (the serializer sorts every ambient order),
+so ``git diff`` on this directory is always meaningful.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analyze import Severity, lint_schedule
+from repro.schedule.serialize import load_schedule, schedule_to_json
+
+CORPUS = Path(__file__).parent / "data" / "lint_corpus"
+EXPECTED = json.loads((CORPUS / "expected.json").read_text())
+
+# defects the corpus plants, by the rule that must catch them
+ERROR_CASES = {"non_causal", "self_send", "negative_time", "uncovered"}
+
+
+def corpus_names():
+    return sorted(EXPECTED)
+
+
+def test_manifest_covers_exactly_the_corpus_files():
+    files = {p.stem for p in CORPUS.glob("*.json")} - {"expected"}
+    assert files == set(EXPECTED)
+
+
+def test_every_rule_is_exercised_by_some_corpus_schedule():
+    fired = {rule for ids in EXPECTED.values() for rule in ids}
+    assert fired == {f"SCHED{i:03d}" for i in range(1, 11)}
+
+
+@pytest.mark.parametrize("name", corpus_names())
+def test_pinned_rule_ids(name):
+    report = lint_schedule(load_schedule(CORPUS / f"{name}.json"))
+    assert report.rule_ids() == EXPECTED[name]
+
+
+@pytest.mark.parametrize("name", corpus_names())
+def test_serialization_is_byte_stable(name):
+    path = CORPUS / f"{name}.json"
+    sched = load_schedule(path)
+    assert schedule_to_json(sched) == path.read_text().rstrip("\n")
+
+
+def test_clean_canary_is_fully_clean():
+    report = lint_schedule(load_schedule(CORPUS / "clean.json"))
+    assert len(report) == 0
+    assert report.max_severity is None
+
+
+@pytest.mark.parametrize("name", sorted(ERROR_CASES))
+def test_error_cases_reach_error_severity(name):
+    report = lint_schedule(load_schedule(CORPUS / f"{name}.json"))
+    assert report.max_severity is Severity.ERROR or name == "uncovered"
+    if name != "uncovered":
+        assert report.errors
+
+
+def test_uncovered_reports_acausal_participant():
+    report = lint_schedule(load_schedule(CORPUS / "uncovered.json"))
+    assert [d.rule for d in report.errors] == ["SCHED001"]

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""AST gate: no Python-level loops over sends in the vectorized hot path.
+
+The whole point of the columnar IR (``repro.schedule.columnar``) is that
+large schedules are processed as ``int64`` arrays, never as per-send
+``SendOp`` objects.  A single innocuous ``for op in schedule.sends:``
+inside one of the vectorized modules silently reintroduces the O(n)
+Python interpreter loop — and at P=1024 all-to-all scale (~1M sends)
+turns a sub-second rule sweep into minutes.
+
+This checker walks the AST of the allowlisted hot modules and fails if
+it finds, anywhere inside them:
+
+* a ``for`` statement or comprehension iterating over an expression
+  whose iterable is an attribute access ending in ``.sends``;
+* a call to one of the materializing accessors ``sorted_sends()``,
+  ``sends_by_proc()`` or ``receives_by_proc()``.
+
+``.tolist()`` / ``zip(...)`` over already-reduced numpy results is fine
+(and common) — the gate only targets the per-send object path.
+
+Usage::
+
+    python tools/lint_hot_loops.py            # check the default allowlist
+    python tools/lint_hot_loops.py src/a.py   # check specific files
+
+Exit code 0 = clean, 1 = violations found, 2 = a listed file is missing.
+Stdlib only, so it runs anywhere (CI and the bare container alike).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Modules that must stay free of per-send Python loops.  These are the
+#: vectorized kernels plus everything the < 1 s lint acceptance test
+#: routes through.
+HOT_MODULES = [
+    "src/repro/schedule/columnar.py",
+    "src/repro/schedule/analysis_np.py",
+    "src/repro/sim/validate_np.py",
+    "src/repro/analyze/context.py",
+    "src/repro/analyze/rules.py",
+    "src/repro/analyze/engine.py",
+]
+
+#: Calling any of these materializes / iterates SendOp objects.
+BANNED_CALLS = {"sorted_sends", "sends_by_proc", "receives_by_proc"}
+
+
+def _is_sends_attr(node: ast.expr) -> bool:
+    """True for any expression shaped ``<something>.sends``."""
+    return isinstance(node, ast.Attribute) and node.attr == "sends"
+
+
+class HotLoopChecker(ast.NodeVisitor):
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.problems: list[str] = []
+
+    def _flag(self, node: ast.AST, what: str) -> None:
+        self.problems.append(f"{self.path}:{node.lineno}: {what}")
+
+    def _check_iter(self, node: ast.AST, iterable: ast.expr) -> None:
+        if _is_sends_attr(iterable):
+            self._flag(
+                node,
+                "python loop over `.sends` in a hot module "
+                "(use the columnar arrays)",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node, node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iter(node, node.iter)
+        self.generic_visit(node)
+
+    def _visit_comp(
+        self, node: ast.ListComp | ast.SetComp | ast.DictComp | ast.GeneratorExp
+    ) -> None:
+        for gen in node.generators:
+            self._check_iter(node, gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_SetComp = _visit_comp
+    visit_DictComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in BANNED_CALLS:
+            self._flag(
+                node,
+                f"call to `{func.attr}()` materializes SendOp objects "
+                "in a hot module (use the columnar arrays)",
+            )
+        self.generic_visit(node)
+
+
+def check_file(path: Path) -> list[str]:
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    checker = HotLoopChecker(str(path))
+    checker.visit(tree)
+    return checker.problems
+
+
+def main(argv: list[str]) -> int:
+    root = Path(__file__).resolve().parent.parent
+    targets = [Path(arg) for arg in argv] if argv else [
+        root / mod for mod in HOT_MODULES
+    ]
+    missing = [str(p) for p in targets if not p.is_file()]
+    if missing:
+        print("lint-hot-loops: missing files:", ", ".join(missing))
+        return 2
+    problems: list[str] = []
+    for path in targets:
+        problems.extend(check_file(path))
+    if problems:
+        print(f"lint-hot-loops: {len(problems)} violation(s):")
+        for line in problems:
+            print(f"  {line}")
+        return 1
+    print(f"lint-hot-loops: {len(targets)} hot module(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
