@@ -10,12 +10,13 @@ install:
 test:
 	$(PY) -m pytest tests/
 
-# Static gates: AST hot-loop check + builder lint smoke always run
-# (stdlib/numpy only); ruff and mypy run when installed, else are
+# Static gates: AST hot-loop + dispatch check, then a lint smoke over
+# every builder the collective registry knows (the list is generated,
+# not hand-maintained); ruff and mypy run when installed, else are
 # skipped loudly — CI installs both, so nothing is skipped there.
 lint:
 	$(PY) tools/lint_hot_loops.py
-	@for b in bcast kitem all-to-all summation allreduce; do \
+	@for b in $$(PYTHONPATH=src $(PY) -m repro.cli builders --names); do \
 		echo "== lint --builder $$b"; \
 		PYTHONPATH=src $(PY) -m repro.cli lint --builder $$b || exit 1; \
 	done

@@ -9,12 +9,17 @@ that validates every schedule the library produces.
 
 Quickstart::
 
-    from repro import LogPParams, optimal_broadcast_schedule, replay
+    from repro import plan, replay
 
-    machine = LogPParams(P=8, L=6, o=2, g=4)
-    schedule = optimal_broadcast_schedule(machine)
+    schedule = plan("broadcast", P=8, L=6, o=2, g=4)
     trace = replay(schedule)           # raises if any LogP rule is broken
-    print(max(op.arrival(machine) for op in schedule.sends))  # B(P) = 24
+    print(max(op.arrival(schedule.params) for op in schedule.sends))  # B(P) = 24
+
+:func:`plan` resolves any registered collective by name (``broadcast``,
+``kitem``, ``continuous``, ``all-to-all``, ``summation``, ``allreduce``,
+``reduction``) through the declarative registry in
+:mod:`repro.registry`; the per-collective builder functions remain
+available for direct use.
 """
 
 from repro.core.all_to_all import (
@@ -79,6 +84,7 @@ from repro.core.summation.schedule import (
 )
 from repro.core.tree import BroadcastTree, TreeNode, optimal_tree, tree_for_time
 from repro.params import LogPParams, postal
+from repro.registry import CollectiveSpec, get_spec, plan
 from repro.schedule.ops import ComputeOp, Schedule, SendOp
 from repro.sim.machine import Machine, replay
 from repro.sim.validate import assert_valid, violations
@@ -89,6 +95,10 @@ __all__ = [
     # machine model
     "LogPParams",
     "postal",
+    # collective registry
+    "plan",
+    "get_spec",
+    "CollectiveSpec",
     # fibonacci machinery
     "fib",
     "fib_sequence",

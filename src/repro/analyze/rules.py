@@ -25,11 +25,15 @@ SCHED009   info      Theorem 3.2 endgame structure for k-item schedules
 SCHED010   warning   incomplete coverage: an item misses processors
 ========== ========= ==================================================
 
-The closed forms behind SCHED008: ``B(P; L, o, g)`` (Theorem 2.1) for
-single-item broadcast, Theorem 3.1's counting bound — tightened to the
+The closed forms behind SCHED008 — ``B(P; L, o, g)`` (Theorem 2.1) for
+single-item broadcast, Theorem 3.1's counting bound (tightened to the
 Theorem 3.6/3.7 single-sending bound when the source actually is
-single-sending — for k-item postal broadcast, and
-``L + 2o + (m(P-1) - 1) g`` (Section 4.1) for m-item all-to-all.
+single-sending) for k-item postal broadcast, and
+``L + 2o + (m(P-1) - 1) g`` (Section 4.1) for m-item all-to-all — are
+supplied by the collective registry: the rule adapts its context into a
+:class:`~repro.registry.spec.BoundQuery` and the
+:class:`~repro.registry.spec.CollectiveSpec` owning the detected
+workload answers (see :func:`repro.registry.closed_form_bound`).
 
 SCHED006 is INFO, not an error: single-sending (Section 3.4) is a
 *restricted schedule class*, so falling outside it is an observation
@@ -49,12 +53,8 @@ from repro.analyze.diagnostics import (
     Diagnostic,
     Severity,
 )
-from repro.core.all_to_all import all_to_all_lower_bound
-from repro.core.fib import (
-    broadcast_time,
-    kitem_lower_bound,
-    single_sending_lower_bound,
-)
+from repro.registry import closed_form_bound
+from repro.registry.spec import BoundQuery
 
 __all__ = ["Rule", "RULES", "rule_ids", "get_rule"]
 
@@ -303,47 +303,34 @@ def _rule_idle_slack(ctx: LintContext) -> tuple[list[Diagnostic], int]:
 
 
 def _optimality_bound(ctx: LintContext) -> tuple[int, str] | None:
-    """The applicable closed-form lower bound, or ``None`` to skip."""
-    params = ctx.params
+    """The applicable closed-form lower bound, or ``None`` to skip.
+
+    The closed forms themselves live on the :class:`CollectiveSpec`
+    records in :mod:`repro.registry.specs` (each spec owns the bound for
+    the workload shape it produces); this adapter distils the lint
+    context into the structured facts a spec's ``lint_bound`` needs.
+    """
     P = len(ctx.participants)
     if P < 2:
         return None
-    if ctx.workload == Workload.BROADCAST:
-        return broadcast_time(P, params), "B(P) (Thm 2.1)"
+    single_sending = False
     if ctx.workload == Workload.KITEM:
-        if not params.is_postal:
-            return None
-        k = ctx.n_items
         counts = ctx.source_item_send_counts
-        if len(counts) and counts.max(initial=0) <= 1:
-            # the source really is single-sending, so the tighter
-            # B(P-1) + L + k - 1 bound (Thms 3.6/3.7) applies
-            return (
-                single_sending_lower_bound(P, params.L, k),
-                f"single-sending bound B(P-1)+L+k-1 (Thm 3.6/3.7, k={k})",
-            )
-        return (
-            kitem_lower_bound(P, params.L, k),
-            f"k-item counting bound (Thm 3.1, k={k})",
-        )
+        single_sending = bool(len(counts)) and counts.max(initial=0) <= 1
+    full_coverage = False
     if ctx.workload == Workload.SCATTERED:
-        # only a genuine all-to-all (every item reaches every participant,
-        # uniformly many items per processor) has a closed form
         holders = ctx.holders_per_item
-        if len(holders) == 0 or not (holders == P).all():
-            return None
-        if ctx.n_items % P:
-            return None
-        m = ctx.n_items // P
-        if m == 1:
-            return all_to_all_lower_bound(params.with_processors(P)), (
-                "all-to-all bound L+2o+(P-2)g (S4.1)"
-            )
-        return (
-            params.send_cost + (m * (P - 1) - 1) * params.g,
-            f"{m}-item all-to-all bound L+2o+({m}(P-1)-1)g (S4.1)",
+        full_coverage = bool(len(holders)) and bool((holders == P).all())
+    return closed_form_bound(
+        BoundQuery(
+            workload=ctx.workload,
+            params=ctx.params,
+            participants=P,
+            n_items=ctx.n_items,
+            single_sending=single_sending,
+            full_coverage=full_coverage,
         )
-    return None
+    )
 
 
 def _rule_optimality_gap(ctx: LintContext) -> tuple[list[Diagnostic], int]:

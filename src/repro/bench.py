@@ -1,12 +1,16 @@
-"""Performance benchmark harness (PR-2: columnar-storage trajectory).
+"""Performance benchmark harness (PR-4: registry + dispatch trajectory).
 
 Times the three phases of the pipeline — *build* a schedule (columnar
-struct-of-arrays backend vs the object-path oracle), *validate* it
-(scalar vs vectorized engines, consuming the schedule's cached columns),
-and *simulate* it on the event-driven :class:`~repro.sim.machine.Machine`
-— at processor counts well beyond the paper's figures (``P`` in
-{256, 1024, 4096}) and on the quadratic-message workloads (all-to-all,
-k-item all-to-all) that motivated the numpy fast paths.
+struct-of-arrays backend vs the object-path oracle, both resolved
+through :func:`repro.registry.plan` with a pinned ``backend=``), *validate*
+it (scalar vs vectorized engines, consuming the schedule's cached
+columns), and *simulate* it on the event-driven
+:class:`~repro.sim.machine.Machine` — at processor counts well beyond
+the paper's figures (``P`` in {256, 1024, 4096}) and on the
+quadratic-message workloads (all-to-all, k-item all-to-all) that
+motivated the numpy fast paths.  The k-item all-to-all workload is a
+bench-only stressor with no registered collective, so it calls its
+builder directly.
 
 Each quadratic-workload row also records the storage footprint of both
 backends as *bytes per send*: exact for the four ``int64`` columns,
@@ -28,9 +32,8 @@ import sys
 import time
 from typing import Any, Callable
 
-from repro.core.all_to_all import all_to_all_schedule, k_item_all_to_all_schedule
-from repro.core.single_item import optimal_broadcast_schedule, schedule_from_tree
-from repro.core.tree import optimal_tree
+from repro import registry
+from repro.core.all_to_all import k_item_all_to_all_schedule
 from repro.params import LogPParams, postal
 from repro.schedule.ops import Schedule
 from repro.sim.machine import Context, Machine
@@ -134,8 +137,8 @@ def bench_broadcast(
     """Build/validate/simulate an optimal single-item broadcast at ``P``."""
     params = LogPParams(P=P, L=L, o=o, g=g)
     build_row, schedule = _build_timings(
-        lambda: optimal_broadcast_schedule(params),
-        lambda: schedule_from_tree(optimal_tree(params), backend="objects"),
+        lambda: registry.plan("broadcast", params, backend="columnar"),
+        lambda: registry.plan("broadcast", params, backend="objects"),
         repeat,
     )
     row: dict[str, Any] = {
@@ -169,8 +172,8 @@ def bench_all_to_all(
     """Build/validate/simulate the P-way all-to-all broadcast (P(P-1) sends)."""
     params = postal(P=P, L=L)
     build_row, schedule = _build_timings(
-        lambda: all_to_all_schedule(params),
-        lambda: all_to_all_schedule(params, backend="objects"),
+        lambda: registry.plan("all-to-all", params, backend="columnar"),
+        lambda: registry.plan("all-to-all", params, backend="objects"),
         repeat,
     )
     row: dict[str, Any] = {
@@ -255,8 +258,8 @@ def run_bench(
     import numpy
 
     return {
-        "bench": "PR-2 columnar schedule storage",
-        "baseline": "BENCH_PR1.json",
+        "bench": "PR-4 unified registry + dispatch policy",
+        "baseline": "BENCH_PR2.json",
         "command": "python -m repro.cli bench",
         "python": sys.version.split()[0],
         "numpy": numpy.__version__,

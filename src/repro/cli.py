@@ -2,6 +2,8 @@
 
 Usage::
 
+    python -m repro.cli builders   [--names]
+    python -m repro.cli plan <collective> --P 8 --L 6 --o 2 --g 4 [--k N]
     python -m repro.cli plan-bcast --P 8 --L 6 --o 2 --g 4 [--show-tree]
     python -m repro.cli plan-kitem --P 10 --L 3 --k 8 [--table]
     python -m repro.cli plan-sum   --P 8 --L 5 --o 2 --g 4 --n 79
@@ -12,13 +14,23 @@ Usage::
     python -m repro.cli lint       <schedule.json> [--format text|json]
     python -m repro.cli lint       --builder bcast --P 8 --L 6 --o 2 --g 4
 
+The builder tables behind ``plan``, ``figures`` and ``lint --builder``
+are not written here: they come from the collective registry
+(:mod:`repro.registry`), so a collective registered there is planable,
+lintable and figure-capable with no CLI change.  ``builders`` lists the
+registered specs with their optimality-theorem tags.
+
 All plans are validated on the LogP simulator before being printed, so
 any output you see corresponds to a legal execution.  The ``lint``
 subcommand is the exception by design: it runs the *static* rule sweep
 (:mod:`repro.analyze`) over a schedule — from a JSON file or built
-fresh with ``--builder bcast|kitem|all-to-all|summation|allreduce`` —
-with no simulation, and exits non-zero if anything at or above
-``--fail-on`` (default: ``error``) fires.
+fresh with any registered builder — with no simulation, and exits
+non-zero if anything at or above ``--fail-on`` (default: ``error``)
+fires.
+
+Usage errors (unknown collective, malformed schedule JSON, conflicting
+inputs, out-of-domain parameters) exit with status 2 after a one-line
+``repro: error: ...`` diagnostic on stderr.
 """
 
 from __future__ import annotations
@@ -26,6 +38,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import registry
 from repro.baselines.trees import baseline_broadcast
 from repro.core.combining import combining_time, simulate_combining
 from repro.core.fib import kitem_lower_bound
@@ -46,6 +59,76 @@ __all__ = ["main"]
 
 def _machine(args: argparse.Namespace) -> LogPParams:
     return LogPParams(P=args.P, L=args.L, o=args.o, g=args.g)
+
+
+def _usage_error(msg: str) -> int:
+    """One-line diagnostic on stderr, exit status 2 (argparse convention)."""
+    print(f"repro: error: {msg}", file=sys.stderr)
+    return 2
+
+
+def _spec_extra(
+    spec: registry.CollectiveSpec, args: argparse.Namespace
+) -> dict[str, int]:
+    """Collect the spec's extra parameters from the parsed CLI flags.
+
+    Summation's ``n``/``t`` pair is mutually exclusive: an explicit
+    ``--t`` wins over the (possibly defaulted) ``--n``.
+    """
+    names = {p.name for p in spec.extra_params}
+    extra: dict[str, int] = {}
+    if "k" in names and getattr(args, "k", None) is not None:
+        extra["k"] = args.k
+    if "t" in names and getattr(args, "t", None) is not None:
+        extra["t"] = args.t
+    elif "n" in names and getattr(args, "n", None) is not None:
+        extra["n"] = args.n
+    return extra
+
+
+def cmd_builders(args: argparse.Namespace) -> int:
+    """List the registered collective builders (the registry, rendered)."""
+    if args.names:
+        for spec in registry.specs():
+            print(spec.name)
+        return 0
+    for spec in registry.specs():
+        extras = " ".join(f"--{p.name}" for p in spec.extra_params)
+        aliases = f" (aka {', '.join(spec.aliases)})" if spec.aliases else ""
+        print(f"{spec.name:<11} [{spec.theorem}] {spec.summary}{aliases}")
+        detail = f"    {spec.paper}; backends: {', '.join(spec.backends)}"
+        if extras:
+            detail += f"; extra flags: {extras}"
+        print(detail)
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    """Build any registered collective and report completion vs. bound."""
+    try:
+        machine = _machine(args)
+        spec = registry.get_spec(args.collective)
+        extra = _spec_extra(spec, args)
+        schedule = registry.plan(spec.name, machine, **extra)
+        bound = registry.lower_bound(spec.name, machine, **extra)
+    except ValueError as exc:
+        return _usage_error(str(exc))
+    replay(schedule)
+    done = registry.completion(schedule)
+    extras = ", ".join(f"{k}={v}" for k, v in extra.items())
+    line = f"{spec.name} on {machine}"
+    if extras:
+        line += f" ({extras})"
+    print(line)
+    print(f"  completes in {done} cycles")
+    if bound is not None:
+        gap = done - bound
+        verdict = "matches" if gap == 0 else f"{gap} above"
+        print(f"  {verdict} the {spec.theorem} lower bound of {bound}")
+    if args.timeline:
+        print()
+        print(render_schedule_activity(schedule))
+    return 0
 
 
 def cmd_plan_bcast(args: argparse.Namespace) -> int:
@@ -127,19 +210,15 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_figures(args: argparse.Namespace) -> int:
-    from repro.experiments import figures as fig_mod
-
-    builders = {
-        "1": fig_mod.fig1_single_item,
-        "2": fig_mod.fig2_continuous,
-        "3": fig_mod.fig3_digraph,
-        "4": fig_mod.fig4_reception_table,
-        "5": fig_mod.fig5_buffered,
-        "6": fig_mod.fig6_summation,
-    }
-    wanted = args.only or list(builders)
+    builders = registry.figure_builders()
+    wanted = args.only or sorted(builders)
     for key in wanted:
-        print(builders[str(key)]())
+        fig = builders.get(str(key))
+        if fig is None:
+            return _usage_error(
+                f"unknown figure {key!r} (known: {', '.join(sorted(builders))})"
+            )
+        print(fig())
     return 0
 
 
@@ -174,37 +253,42 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
-LINT_BUILDERS = ("bcast", "kitem", "all-to-all", "summation", "allreduce")
-
-
 def _lint_target(args: argparse.Namespace):
-    """The schedule to lint: loaded from JSON or built by name."""
+    """The schedule to lint: loaded from JSON or built via the registry.
+
+    Raises ``ValueError`` with a one-line message for every usage
+    problem (conflicting inputs, unknown builder, malformed file,
+    out-of-domain parameters).
+    """
+    if args.schedule is not None and args.builder is not None:
+        raise ValueError(
+            "give a schedule file or --builder, not both "
+            f"(got {args.schedule!r} and --builder {args.builder})"
+        )
     if args.schedule is not None:
+        import json
+
         from repro.schedule.serialize import load_schedule
 
-        return load_schedule(args.schedule)
-    machine = _machine(args)
-    if args.builder == "bcast":
-        return optimal_broadcast_schedule(machine)
-    if args.builder == "kitem":
-        return single_sending_schedule(args.k, args.P, args.L)
-    if args.builder == "all-to-all":
-        from repro.core.all_to_all import all_to_all_schedule
-
-        return all_to_all_schedule(machine)
-    if args.builder == "summation":
-        t = args.t if args.t is not None else min_summation_time(args.n, machine)
-        return summation_schedule(t, machine).to_schedule()
-    if args.builder == "allreduce":
-        T = combining_time(args.P, args.L)
-        return simulate_combining(T, args.L).schedule
-    raise ValueError(f"unknown builder {args.builder!r}")
+        try:
+            return load_schedule(args.schedule)
+        except FileNotFoundError:
+            raise ValueError(f"{args.schedule}: no such file") from None
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{args.schedule}: malformed JSON: {exc}") from None
+    if args.builder is None:
+        raise ValueError("give a schedule JSON file or --builder NAME")
+    spec = registry.get_spec(args.builder)
+    return registry.plan(spec.name, _machine(args), **_spec_extra(spec, args))
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.analyze import Severity, lint_schedule, render_text, sarif_json
 
-    schedule = _lint_target(args)
+    try:
+        schedule = _lint_target(args)
+    except ValueError as exc:
+        return _usage_error(str(exc))
     report = lint_schedule(
         schedule, select=args.select or None, ignore=args.ignore or None
     )
@@ -228,6 +312,24 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--L", type=int, required=True, help="latency (cycles)")
         p.add_argument("--o", type=int, default=0, help="overhead (cycles)")
         p.add_argument("--g", type=int, default=1, help="gap (cycles)")
+
+    p = sub.add_parser("builders", help="list the registered collectives")
+    p.add_argument(
+        "--names", action="store_true", help="canonical names only, one per line"
+    )
+    p.set_defaults(func=cmd_builders)
+
+    p = sub.add_parser("plan", help="build any registered collective")
+    p.add_argument(
+        "collective",
+        help="collective name or alias (see `repro builders`)",
+    )
+    machine_args(p)
+    p.add_argument("--k", type=int, default=None, help="items (k-item/continuous)")
+    p.add_argument("--n", type=int, default=None, help="operands (summation)")
+    p.add_argument("--t", type=int, default=None, help="time budget (summation)")
+    p.add_argument("--timeline", action="store_true")
+    p.set_defaults(func=cmd_plan)
 
     p = sub.add_parser("plan-bcast", help="optimal single-item broadcast")
     machine_args(p)
@@ -281,8 +383,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--builder",
-        choices=LINT_BUILDERS,
-        help="lint a freshly built paper schedule instead of a file",
+        metavar="NAME",
+        help=(
+            "lint a freshly built paper schedule instead of a file; "
+            "any registered collective name or alias "
+            f"({', '.join(registry.spec_names())})"
+        ),
     )
     p.add_argument("--P", type=int, default=8, help="processors (builders)")
     p.add_argument("--L", type=int, default=6, help="latency (builders)")

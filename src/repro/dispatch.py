@@ -1,0 +1,158 @@
+"""Backend dispatch: the one place that chooses objects vs numpy.
+
+Two execution backends exist for every hot operation in this library —
+a pure-Python *objects* path over :class:`~repro.schedule.ops.SendOp`
+lists (simple, allocation-heavy, the property-tested oracle) and a
+vectorized *numpy* path over the columnar IR
+(:mod:`repro.schedule.columnar`).  Until PR 4 each consumer hand-rolled
+its own ``schedule.num_sends >= FAST_PATH_THRESHOLD`` comparison, so the
+cutoff logic was scattered across :mod:`repro.sim.validate` and
+:mod:`repro.schedule.analysis` and could drift per call site.
+
+This module owns that decision.  A single :class:`DispatchPolicy`
+(mode ``auto`` / ``objects`` / ``numpy`` plus the auto-mode send-count
+threshold) is consulted by every dispatching entry point; the AST gate
+in ``tools/lint_hot_loops.py`` fails CI on any ``FAST_PATH_THRESHOLD``
+comparison outside this file, so the policy cannot silently re-scatter.
+
+Configuration layers (innermost wins):
+
+1. defaults: ``mode="auto"``, threshold 1024 sends;
+2. environment, read once at import: ``REPRO_DISPATCH=auto|objects|numpy``
+   and ``REPRO_FAST_PATH_THRESHOLD=<int>`` (e.g. ``0`` forces the numpy
+   engine everywhere in auto mode);
+3. process-wide override: :func:`set_policy` (or monkeypatching
+   :data:`_POLICY` in tests — every dispatch site reads it dynamically);
+4. per-call override: the ``backend=`` keyword accepted by the
+   dispatching functions, forwarded to :func:`use_numpy`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = [
+    "AUTO",
+    "OBJECTS",
+    "NUMPY",
+    "FAST_PATH_THRESHOLD",
+    "DispatchPolicy",
+    "get_policy",
+    "set_policy",
+    "use_numpy",
+    "builder_backend",
+]
+
+AUTO = "auto"
+OBJECTS = "objects"
+NUMPY = "numpy"
+#: ``columnar`` is accepted as a builder-side synonym for ``numpy``
+#: (builders call their array-backed storage mode "columnar").
+_MODES = (AUTO, OBJECTS, NUMPY, "columnar")
+
+#: Default auto-mode cutoff: schedules with at least this many sends go
+#: through the numpy kernels; below it the pure-Python paths win (no
+#: array-conversion overhead).  ``REPRO_FAST_PATH_THRESHOLD`` overrides
+#: it at import time; :func:`set_policy` overrides it at runtime.
+FAST_PATH_THRESHOLD = 1024
+
+
+def _normalize_mode(mode: str) -> str:
+    if mode == "columnar":
+        return NUMPY
+    if mode not in (AUTO, OBJECTS, NUMPY):
+        raise ValueError(
+            f"unknown dispatch mode {mode!r}; expected one of "
+            f"'auto', 'objects', 'numpy' (or 'columnar')"
+        )
+    return mode
+
+
+@dataclass(frozen=True)
+class DispatchPolicy:
+    """The process-wide objects-vs-numpy decision rule.
+
+    ``mode="auto"`` routes schedules with ``num_sends >= threshold``
+    through the numpy kernels; ``"objects"`` pins the pure-Python oracle
+    everywhere, ``"numpy"`` pins the vectorized engine everywhere.
+    """
+
+    mode: str = AUTO
+    threshold: int = FAST_PATH_THRESHOLD
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "mode", _normalize_mode(self.mode))
+        if self.threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {self.threshold}")
+
+    def use_numpy(self, num_sends: int, override: str | None = None) -> bool:
+        """True iff ``num_sends`` should be processed by the numpy path.
+
+        ``override`` is the per-call backend request (``None`` defers to
+        the policy; ``"auto"`` applies the threshold even when the policy
+        mode is pinned).
+        """
+        mode = self.mode if override is None else _normalize_mode(override)
+        if mode == NUMPY:
+            return True
+        if mode == OBJECTS:
+            return False
+        return num_sends >= self.threshold
+
+
+def _policy_from_env() -> DispatchPolicy:
+    threshold = os.environ.get("REPRO_FAST_PATH_THRESHOLD")
+    return DispatchPolicy(
+        mode=os.environ.get("REPRO_DISPATCH", AUTO),
+        threshold=FAST_PATH_THRESHOLD if threshold is None else int(threshold),
+    )
+
+
+#: The active policy.  Read dynamically by every dispatch site, so
+#: :func:`set_policy` (and test monkeypatching) take effect immediately.
+_POLICY: DispatchPolicy = _policy_from_env()
+
+
+def get_policy() -> DispatchPolicy:
+    """The active :class:`DispatchPolicy`."""
+    return _POLICY
+
+
+def set_policy(policy: DispatchPolicy) -> DispatchPolicy:
+    """Install ``policy`` process-wide; returns the previous policy."""
+    global _POLICY
+    previous = _POLICY
+    _POLICY = policy
+    return previous
+
+
+def use_numpy(num_sends: int, override: str | None = None) -> bool:
+    """Ask the active policy whether ``num_sends`` takes the numpy path."""
+    return _POLICY.use_numpy(num_sends, override=override)
+
+
+def builder_backend(
+    supported: tuple[str, ...], override: str | None = None
+) -> str:
+    """The storage backend a schedule *builder* should emit.
+
+    Builders name their array-backed mode ``"columnar"``; a policy (or
+    per-call override) pinned to ``objects`` selects the object path when
+    the builder supports it, anything else selects the columnar path.
+    Raises ``ValueError`` when the override names a backend the builder
+    does not implement.
+    """
+    if override is not None:
+        if override not in supported and not (
+            override in (NUMPY, AUTO) and "columnar" in supported
+        ):
+            raise ValueError(
+                f"backend {override!r} not supported; choose from {supported}"
+            )
+        if override == OBJECTS:
+            return OBJECTS
+        return "columnar" if "columnar" in supported else supported[0]
+    if _POLICY.mode == OBJECTS and OBJECTS in supported:
+        return OBJECTS
+    return "columnar" if "columnar" in supported else supported[0]

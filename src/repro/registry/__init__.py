@@ -1,0 +1,191 @@
+"""Unified collective registry and planner.
+
+One lookup table for every collective the repo builds, and one entry
+point to build them::
+
+    from repro.registry import plan
+
+    sched = plan("broadcast", P=8, L=6, o=2, g=4)
+    sched = plan("kitem", P=10, L=3, k=8)
+    sched = plan("summation", P=8, L=5, o=2, g=4, n=79)
+
+:func:`plan` resolves the collective by canonical name or alias,
+validates the machine and the collective-specific parameters against the
+spec's declared domain (uniform one-line ``ValueError``\\ s instead of
+builder-specific crashes), picks a storage backend through the
+:mod:`repro.dispatch` policy for builders that support both, and runs
+the builder.
+
+The same records drive the CLI's builder tables, the bench harness, the
+figure scripts and SCHED008's closed-form optimality bounds
+(:func:`closed_form_bound`), so a new collective added to
+:mod:`repro.registry.specs` shows up everywhere at once.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro import dispatch as _dispatch
+from repro.params import LogPParams
+from repro.registry.spec import BoundQuery, CollectiveSpec, ParamField
+from repro.registry.specs import SPECS
+from repro.schedule.ops import Schedule
+
+__all__ = [
+    "BoundQuery",
+    "CollectiveSpec",
+    "ParamField",
+    "SPECS",
+    "specs",
+    "spec_names",
+    "all_names",
+    "get_spec",
+    "plan",
+    "lower_bound",
+    "closed_form_bound",
+    "completion",
+    "figure_builders",
+]
+
+_BY_NAME: dict[str, CollectiveSpec] = {}
+for _spec in SPECS:
+    for _name in _spec.all_names():
+        if _name in _BY_NAME:
+            raise RuntimeError(f"duplicate collective name: {_name}")
+        _BY_NAME[_name] = _spec
+del _spec, _name
+
+
+def specs() -> tuple[CollectiveSpec, ...]:
+    """All registered collective specs, in registration order."""
+    return SPECS
+
+
+def spec_names() -> tuple[str, ...]:
+    """Canonical names of all registered collectives."""
+    return tuple(s.name for s in SPECS)
+
+
+def all_names() -> tuple[str, ...]:
+    """Every accepted collective name, canonical names first."""
+    return tuple(s.name for s in SPECS) + tuple(
+        a for s in SPECS for a in s.aliases
+    )
+
+
+def get_spec(name: str) -> CollectiveSpec:
+    """Resolve a canonical name or alias to its spec.
+
+    Raises a one-line ``ValueError`` naming the known collectives for
+    anything unknown.
+    """
+    spec = _BY_NAME.get(name)
+    if spec is None:
+        known = ", ".join(s.name for s in SPECS)
+        raise ValueError(f"unknown collective {name!r} (known: {known})")
+    return spec
+
+
+def _machine_from_kwargs(kwargs: dict[str, Any]) -> LogPParams:
+    P = kwargs.pop("P", None)
+    if P is None:
+        raise ValueError(
+            "plan: machine parameters missing — pass params=LogPParams(...) "
+            "or at least P= and L="
+        )
+    L = kwargs.pop("L", None)
+    if L is None:
+        raise ValueError("plan: L= is required when P= is given")
+    return LogPParams(P=P, L=L, o=kwargs.pop("o", 0), g=kwargs.pop("g", 1))
+
+
+def plan(
+    name: str,
+    params: LogPParams | None = None,
+    *,
+    backend: str | None = None,
+    **kwargs: Any,
+) -> Schedule:
+    """Build the named collective's schedule.
+
+    Machine parameters come either as ``params=LogPParams(...)`` or as
+    the keywords ``P``/``L``/``o``/``g`` (postal defaults ``o=0, g=1``).
+    Collective-specific parameters (``k``, ``n``, ``t``) are validated
+    against the spec's declared domain.  ``backend`` pins the storage
+    backend (``"columnar"``/``"objects"``) for builders that support
+    both; the default follows the :mod:`repro.dispatch` policy.
+    """
+    spec = get_spec(name)
+    if params is None:
+        params = _machine_from_kwargs(kwargs)
+    elif "P" in kwargs or "L" in kwargs:
+        raise ValueError(
+            f"{spec.name}: give either params=LogPParams(...) or "
+            f"P=/L= keywords, not both"
+        )
+    if spec.check_machine is not None:
+        spec.check_machine(params)
+    extra = spec.validate_extra(params, kwargs)
+    if len(spec.backends) > 1:
+        extra["backend"] = _dispatch.builder_backend(
+            spec.backends, override=backend
+        )
+    elif backend is not None and backend not in spec.backends:
+        raise ValueError(
+            f"{spec.name}: backend {backend!r} not supported "
+            f"(supported: {', '.join(spec.backends)})"
+        )
+    return spec.build(params, **extra)
+
+
+def lower_bound(
+    name: str, params: LogPParams, **kwargs: Any
+) -> int | None:
+    """The spec's closed-form lower bound for this instance, if any."""
+    spec = get_spec(name)
+    if spec.lower_bound is None:
+        return None
+    if spec.check_machine is not None:
+        spec.check_machine(params)
+    extra = spec.validate_extra(params, kwargs)
+    return spec.lower_bound(params, **extra)
+
+
+def closed_form_bound(query: BoundQuery) -> tuple[int, str] | None:
+    """Answer a lint-engine bound query from the spec owning the workload.
+
+    Returns ``(bound, kind)`` — the closed-form optimal completion time
+    and a human-readable tag naming the theorem — or ``None`` when no
+    registered collective has a closed form for the query's workload.
+    """
+    for spec in SPECS:
+        if spec.workload == query.workload and spec.lint_bound is not None:
+            return spec.lint_bound(query)
+    return None
+
+
+def completion(schedule: Schedule) -> int:
+    """Cycle at which the schedule finishes: last payload arrival or the
+    end of the last local computation, whichever is later."""
+    from repro.schedule.analysis import completion_time
+
+    done = completion_time(schedule)
+    for op in schedule.computes:
+        done = max(done, op.time + op.duration)
+    return done
+
+
+def figure_builders() -> dict[str, Any]:
+    """Map figure key -> zero-argument figure builder, from the specs.
+
+    Lazily imports :mod:`repro.experiments.figures` so the registry has
+    no matplotlib-adjacent import cost on the hot paths.
+    """
+    from repro.experiments import figures as fig_mod
+
+    out: dict[str, Any] = {}
+    for spec in SPECS:
+        for key, attr in spec.figures:
+            out[key] = getattr(fig_mod, attr)
+    return out

@@ -4,16 +4,18 @@ These helpers are *descriptive* — they compute when items become available
 under the IR's timing convention without judging legality.  Legality
 checking lives in :mod:`repro.sim.validate`.
 
-Schedules with at least
-:data:`repro.schedule.analysis_np.FAST_PATH_THRESHOLD` sends are routed
-through the vectorized kernels in :mod:`repro.schedule.analysis_np`;
-results are identical (property-tested).
+Large schedules are routed through the vectorized kernels in
+:mod:`repro.schedule.analysis_np`; results are identical
+(property-tested).  The objects-vs-numpy decision is owned by
+:mod:`repro.dispatch` — pass ``backend="objects"``/``"numpy"`` to any
+helper here to override the process-wide policy for one call.
 """
 
 from __future__ import annotations
 
 from typing import Hashable
 
+from repro import dispatch as _dispatch
 from repro.schedule import analysis_np as _np_kernels
 from repro.schedule.ops import Schedule, SendOp
 
@@ -29,7 +31,9 @@ __all__ = [
 Item = Hashable
 
 
-def availability(schedule: Schedule) -> dict[tuple[int, Item], int]:
+def availability(
+    schedule: Schedule, backend: str | None = None
+) -> dict[tuple[int, Item], int]:
     """Map ``(proc, item) -> earliest cycle the item is available there``.
 
     Initial placements are available at time 0 (or at the item's creation
@@ -37,7 +41,7 @@ def availability(schedule: Schedule) -> dict[tuple[int, Item], int]:
     destination at ``time + L + 2o``.  If an item reaches a processor more
     than once, the earliest arrival wins.
     """
-    if schedule.num_sends >= _np_kernels.FAST_PATH_THRESHOLD:
+    if _dispatch.use_numpy(schedule.num_sends, override=backend):
         return _np_kernels.availability_np(schedule)
     avail: dict[tuple[int, Item], int] = {}
     for proc, items in schedule.initial.items():
@@ -53,16 +57,20 @@ def availability(schedule: Schedule) -> dict[tuple[int, Item], int]:
     return avail
 
 
-def completion_time(schedule: Schedule) -> int:
+def completion_time(schedule: Schedule, backend: str | None = None) -> int:
     """Cycle at which the last payload lands (0 for an empty schedule)."""
     if not schedule.num_sends:
         return 0
-    if schedule.num_sends >= _np_kernels.FAST_PATH_THRESHOLD:
+    if _dispatch.use_numpy(schedule.num_sends, override=backend):
         return _np_kernels.completion_time_np(schedule.columns())
     return max(op.arrival(schedule.params) for op in schedule.sends)
 
 
-def item_completion_times(schedule: Schedule, procs: set[int] | None = None) -> dict[Item, int]:
+def item_completion_times(
+    schedule: Schedule,
+    procs: set[int] | None = None,
+    backend: str | None = None,
+) -> dict[Item, int]:
     """Map item -> cycle by which *every* processor in ``procs`` holds it.
 
     ``procs`` defaults to every processor mentioned by the schedule.
@@ -70,7 +78,7 @@ def item_completion_times(schedule: Schedule, procs: set[int] | None = None) -> 
     """
     if procs is None:
         procs = schedule.processors()
-    if schedule.num_sends >= _np_kernels.FAST_PATH_THRESHOLD:
+    if _dispatch.use_numpy(schedule.num_sends, override=backend):
         return _np_kernels.item_completion_times_np(schedule, procs)
     avail = availability(schedule)
     out: dict[Item, int] = {}
@@ -104,9 +112,11 @@ def max_delay(schedule: Schedule, procs: set[int] | None = None) -> int:
     return max(delays.values()) if delays else 0
 
 
-def broadcast_delay_per_proc(schedule: Schedule, item: Item = 0) -> dict[int, int]:
+def broadcast_delay_per_proc(
+    schedule: Schedule, item: Item = 0, backend: str | None = None
+) -> dict[int, int]:
     """For a single-item broadcast: map proc -> time it first holds ``item``."""
-    if schedule.num_sends >= _np_kernels.FAST_PATH_THRESHOLD:
+    if _dispatch.use_numpy(schedule.num_sends, override=backend):
         return _np_kernels.broadcast_delay_np(schedule, item)
     avail = availability(schedule)
     return {

@@ -4,7 +4,9 @@ The pure-Python helpers in :mod:`repro.schedule.analysis` are fine for
 the paper-scale instances; sweeping thousands of processors or long
 continuous windows (hundreds of thousands of sends) wants vectorization.
 These functions return the same values as their scalar counterparts
-(property-tested) but operate on column arrays.
+(property-tested) but operate on column arrays.  Routing between the
+scalar and vectorized paths is owned by :mod:`repro.dispatch` (one
+:class:`~repro.dispatch.DispatchPolicy` for the whole library).
 
 Columns live in :mod:`repro.schedule.columnar` and are cached *on the
 schedule* (:meth:`repro.schedule.ops.Schedule.columns`), so repeated
@@ -14,7 +16,6 @@ schedules never convert at all.
 
 from __future__ import annotations
 
-import os
 from typing import Hashable
 
 import numpy as np
@@ -23,7 +24,6 @@ from repro.schedule.columnar import ScheduleColumns
 from repro.schedule.ops import Schedule
 
 __all__ = [
-    "FAST_PATH_THRESHOLD",
     "ScheduleColumns",
     "columns",
     "availability_arrays",
@@ -37,17 +37,6 @@ __all__ = [
     "in_transit_profile",
     "per_proc_egress_peak",
 ]
-
-#: Schedules with at least this many sends are routed through the numpy
-#: kernels by :mod:`repro.schedule.analysis` and :mod:`repro.sim.validate`.
-#: Below it the pure-Python paths win (no array-conversion overhead).
-#: Overridable via the ``REPRO_FAST_PATH_THRESHOLD`` environment variable
-#: (read once at import; set it to ``0`` to force the numpy path
-#: everywhere, or to a huge value to pin the scalar path).  Dispatch
-#: sites read this attribute dynamically, so tests may also monkeypatch
-#: ``repro.schedule.analysis_np.FAST_PATH_THRESHOLD`` directly.
-FAST_PATH_THRESHOLD = int(os.environ.get("REPRO_FAST_PATH_THRESHOLD", "1024"))
-
 
 def columns(schedule: Schedule) -> ScheduleColumns:
     """The schedule's cached column view (see :meth:`Schedule.columns`)."""

@@ -21,21 +21,21 @@ twice — the "correctness" criterion of Section 3.1) and
 :func:`is_single_sending` (the source transmits each item exactly once —
 Section 3.4).
 
-Schedules with at least
-:data:`repro.schedule.analysis_np.FAST_PATH_THRESHOLD` sends are checked
-by the vectorized engine (:mod:`repro.sim.validate_np`), which returns
-the same violation strings; pass ``force_scalar=True`` to pin the
-pure-Python path, or set the ``REPRO_FAST_PATH_THRESHOLD`` environment
-variable (e.g. ``0`` to force the numpy engine everywhere) before the
-package is imported to move the dispatch cutoff.
+Large schedules are checked by the vectorized engine
+(:mod:`repro.sim.validate_np`), which returns the same violation
+strings.  The objects-vs-numpy routing is owned by
+:mod:`repro.dispatch`: pass ``backend="objects"`` (or the legacy
+``force_scalar=True``) to pin the pure-Python path per call, or set the
+``REPRO_FAST_PATH_THRESHOLD`` / ``REPRO_DISPATCH`` environment variables
+before the package is imported to move the process-wide policy.
 """
 
 from __future__ import annotations
 
 from typing import Hashable
 
+from repro import dispatch as _dispatch
 from repro.schedule.analysis import availability
-from repro.schedule import analysis_np as _np_kernels
 from repro.schedule.ops import Schedule, SendOp
 
 __all__ = [
@@ -56,10 +56,18 @@ def violations(
     schedule: Schedule,
     check_capacity: bool = True,
     force_scalar: bool = False,
+    backend: str | None = None,
 ) -> list[str]:
-    """Return all LogP-model violations in ``schedule`` (empty if legal);
-    auto-dispatches to the numpy engine for large schedules."""
-    if not force_scalar and schedule.num_sends >= _np_kernels.FAST_PATH_THRESHOLD:
+    """Return all LogP-model violations in ``schedule`` (empty if legal).
+
+    Engine choice follows the :mod:`repro.dispatch` policy;
+    ``backend="objects"``/``"numpy"`` overrides it for this call
+    (``force_scalar=True`` is the legacy spelling of
+    ``backend="objects"``).
+    """
+    if force_scalar:
+        backend = _dispatch.OBJECTS
+    if _dispatch.use_numpy(schedule.num_sends, override=backend):
         from repro.sim.validate_np import violations_np
 
         return violations_np(schedule, check_capacity=check_capacity)

@@ -10,9 +10,8 @@ tell which engine ran; only violating ops are ever formatted in Python,
 so legal schedules stay entirely in numpy.
 
 :func:`repro.sim.validate.violations` dispatches here automatically for
-schedules with at least
-:data:`repro.schedule.analysis_np.FAST_PATH_THRESHOLD` sends; at the
-P=256 all-to-all scale (65,280 sends) the speedup over the scalar
+large schedules (the cutoff lives in the :mod:`repro.dispatch` policy);
+at the P=256 all-to-all scale (65,280 sends) the speedup over the scalar
 validator is roughly 7-8x (see ``BENCH_PR1.json``).
 """
 

@@ -17,6 +17,10 @@ import inspect
 MODULES = [
     "repro",
     "repro.params",
+    "repro.dispatch",
+    "repro.registry",
+    "repro.registry.spec",
+    "repro.registry.specs",
     "repro.core.fib",
     "repro.core.tree",
     "repro.core.pruning",

@@ -114,12 +114,3 @@ class TestCustomOrders:
         params = postal(P=3, L=2)
         with pytest.raises(ValueError):
             all_to_all_schedule(params, orders=[[1, 2]])
-
-
-class TestLintSmoke:
-    def test_builder_output_is_lint_clean(self):
-        from repro.analyze import assert_lint_clean
-        from repro.core.all_to_all import all_to_all_schedule
-
-        report = assert_lint_clean(all_to_all_schedule(postal(16, 4)))
-        assert report.workload == "scattered"

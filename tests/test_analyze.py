@@ -271,8 +271,8 @@ class TestZeroCopy:
 class TestDispatchThreshold:
     def test_env_var_overrides_threshold(self):
         code = (
-            "from repro.schedule import analysis_np;"
-            "print(analysis_np.FAST_PATH_THRESHOLD)"
+            "from repro import dispatch;"
+            "print(dispatch.get_policy().threshold)"
         )
         env = dict(os.environ, REPRO_FAST_PATH_THRESHOLD="7", PYTHONPATH="src")
         out = subprocess.run(
@@ -284,8 +284,20 @@ class TestDispatchThreshold:
         )
         assert out.stdout.strip() == "7"
 
-    def test_dispatch_reads_attribute_dynamically(self, monkeypatch):
-        from repro.schedule import analysis_np
+    def test_env_var_overrides_mode(self):
+        code = "from repro import dispatch; print(dispatch.get_policy().mode)"
+        env = dict(os.environ, REPRO_DISPATCH="numpy", PYTHONPATH="src")
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        assert out.stdout.strip() == "numpy"
+
+    def test_dispatch_reads_policy_dynamically(self, monkeypatch):
+        from repro import dispatch
         from repro.sim import validate, validate_np
 
         calls = []
@@ -297,12 +309,34 @@ class TestDispatchThreshold:
 
         monkeypatch.setattr(validate_np, "violations_np", spy)
         sched = optimal_broadcast_schedule(FIG1)  # 7 sends, below default
-        monkeypatch.setattr(analysis_np, "FAST_PATH_THRESHOLD", 0)
+        monkeypatch.setattr(
+            dispatch, "_POLICY", dispatch.DispatchPolicy(threshold=0)
+        )
         assert validate.violations(sched) == []
         assert calls == [7]
-        monkeypatch.setattr(analysis_np, "FAST_PATH_THRESHOLD", 10**9)
+        monkeypatch.setattr(
+            dispatch, "_POLICY", dispatch.DispatchPolicy(threshold=10**9)
+        )
         assert validate.violations(sched) == []
         assert calls == [7]  # scalar path this time
+
+    def test_set_policy_round_trips(self):
+        from repro import dispatch
+
+        prev = dispatch.set_policy(dispatch.DispatchPolicy(mode="objects"))
+        try:
+            assert not dispatch.use_numpy(10**9)
+        finally:
+            dispatch.set_policy(prev)
+        assert dispatch.get_policy() == prev
+
+    def test_per_call_override_beats_policy(self):
+        from repro import dispatch
+
+        assert dispatch.use_numpy(1, override="numpy")
+        assert not dispatch.use_numpy(10**9, override="objects")
+        with pytest.raises(ValueError):
+            dispatch.use_numpy(1, override="vectorized")
 
 
 class TestContextInternals:

@@ -75,12 +75,92 @@ class TestCommands:
         assert "Summation" in out
 
 
+class TestRegistryCommands:
+    def test_builders_lists_specs_with_theorem_tags(self, capsys):
+        from repro import registry
+
+        assert main(["builders"]) == 0
+        out = capsys.readouterr().out
+        for spec in registry.specs():
+            assert spec.name in out
+            assert spec.theorem in out
+
+    def test_builders_names_matches_registry(self, capsys):
+        from repro import registry
+
+        assert main(["builders", "--names"]) == 0
+        names = capsys.readouterr().out.split()
+        assert tuple(names) == registry.spec_names()
+
+    def test_plan_reports_tight_bound(self, capsys):
+        assert main(
+            ["plan", "broadcast", "--P", "8", "--L", "6", "--o", "2", "--g", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "completes in 24 cycles" in out
+        assert "matches the Thm 2.1 lower bound of 24" in out
+
+    def test_plan_accepts_aliases(self, capsys):
+        assert main(["plan", "a2a", "--P", "4", "--L", "2"]) == 0
+        assert "all-to-all" in capsys.readouterr().out
+
+    def test_plan_unknown_collective_one_line_diagnostic(self, capsys):
+        assert main(["plan", "scan", "--P", "4", "--L", "2"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error: unknown collective 'scan'")
+        assert err.count("\n") == 1  # exactly one diagnostic line
+
+    def test_plan_out_of_domain_one_line_diagnostic(self, capsys):
+        assert main(["plan", "kitem", "--P", "1", "--L", "3", "--k", "2"]) == 2
+        err = capsys.readouterr().err
+        assert "repro: error: kitem: P must be >= 2, got 1" in err
+        assert main(["plan", "kitem", "--P", "4", "--L", "3", "--k", "0"]) == 2
+        assert "k must be >= 1" in capsys.readouterr().err
+
+
 class TestLintCommand:
     def test_lint_builders_are_error_free(self, capsys):
-        for builder in ("bcast", "kitem", "all-to-all", "summation", "allreduce"):
+        from repro import registry
+
+        for builder in registry.spec_names():
             assert main(["lint", "--builder", builder]) == 0, builder
             out = capsys.readouterr().out
             assert "summary: 0 errors" in out
+
+    def test_lint_builder_aliases_accepted(self, capsys):
+        assert main(["lint", "--builder", "bcast"]) == 0
+        assert "workload=broadcast" in capsys.readouterr().out
+
+    def test_lint_unknown_builder_one_line_diagnostic(self, capsys):
+        assert main(["lint", "--builder", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error: unknown collective 'bogus'")
+        assert err.count("\n") == 1
+
+    def test_lint_malformed_json_one_line_diagnostic(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert main(["lint", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith(f"repro: error: {path}: malformed JSON")
+        assert err.count("\n") == 1
+
+    def test_lint_missing_file_one_line_diagnostic(self, tmp_path, capsys):
+        path = tmp_path / "nope.json"
+        assert main(["lint", str(path)]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_lint_file_and_builder_conflict(self, tmp_path, capsys):
+        path = tmp_path / "plan.json"
+        path.write_text("{}")
+        assert main(["lint", str(path), "--builder", "bcast"]) == 2
+        err = capsys.readouterr().err
+        assert "not both" in err
+        assert err.count("\n") == 1
+
+    def test_lint_neither_file_nor_builder(self, capsys):
+        assert main(["lint"]) == 2
+        assert "schedule JSON file or --builder" in capsys.readouterr().err
 
     def test_lint_from_file(self, tmp_path, capsys):
         from repro.core.single_item import optimal_broadcast_schedule

@@ -126,11 +126,3 @@ class TestKCombining:
             )
             combined = concat(combined, relabeled)
         replay(combined)
-
-
-class TestLintSmoke:
-    def test_builder_output_is_lint_clean(self):
-        from repro.analyze import assert_lint_clean
-
-        T = combining_time(9, 3)
-        assert_lint_clean(simulate_combining(T, 3).schedule)

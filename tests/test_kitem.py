@@ -194,12 +194,3 @@ class TestTheorem32Structure:
 
         counts = Counter(op.item for op in s.sends if op.src == 0)
         assert all(c == 1 for c in counts.values())
-
-
-class TestLintSmoke:
-    def test_builder_output_is_lint_clean(self):
-        from repro.analyze import assert_lint_clean
-        from repro.core.kitem.single_sending import single_sending_schedule
-
-        report = assert_lint_clean(single_sending_schedule(8, 10, 3))
-        assert report.workload == "kitem"

@@ -81,12 +81,3 @@ class TestScheduleFromTree:
         params = postal(P=3, L=2)
         schedule = schedule_from_tree(optimal_tree(params), item="msg")
         assert all(op.item == "msg" for op in schedule.sends)
-
-
-class TestLintSmoke:
-    def test_builder_output_is_lint_clean(self, fig1_params):
-        from repro.analyze import assert_lint_clean
-        from repro.core.single_item import optimal_broadcast_schedule
-
-        report = assert_lint_clean(optimal_broadcast_schedule(fig1_params))
-        assert report.workload == "broadcast"

@@ -128,12 +128,3 @@ class TestSchedule:
             if S > 0:
                 lo, hi = spans[node.index]
                 assert hi == S  # last computation ends exactly at the send
-
-
-class TestLintSmoke:
-    def test_builder_output_is_lint_clean(self):
-        from repro.analyze import assert_lint_clean
-
-        machine = LogPParams(P=8, L=5, o=2, g=4)
-        t = min_summation_time(79, machine)
-        assert_lint_clean(summation_schedule(t, machine).to_schedule())

@@ -19,6 +19,13 @@ it finds, anywhere inside them:
 ``.tolist()`` / ``zip(...)`` over already-reduced numpy results is fine
 (and common) — the gate only targets the per-send object path.
 
+A second gate protects the dispatch policy: the objects-vs-numpy
+routing decision lives in :mod:`repro.dispatch` and nowhere else, so
+any comparison against ``FAST_PATH_THRESHOLD`` in the rest of
+``src/repro`` (the scattered ``schedule.num_sends >= FAST_PATH_THRESHOLD``
+pattern this repo used to have) is a violation — call
+``repro.dispatch.use_numpy(...)`` instead.
+
 Usage::
 
     python tools/lint_hot_loops.py            # check the default allowlist
@@ -48,6 +55,12 @@ HOT_MODULES = [
 
 #: Calling any of these materializes / iterates SendOp objects.
 BANNED_CALLS = {"sorted_sends", "sends_by_proc", "receives_by_proc"}
+
+#: The one module allowed to compare against the dispatch threshold.
+DISPATCH_OWNER = "src/repro/dispatch.py"
+
+#: The policy knob whose comparisons must stay inside DISPATCH_OWNER.
+THRESHOLD_NAME = "FAST_PATH_THRESHOLD"
 
 
 def _is_sends_attr(node: ast.expr) -> bool:
@@ -102,31 +115,89 @@ class HotLoopChecker(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-def check_file(path: Path) -> list[str]:
+def _mentions_threshold(node: ast.expr) -> bool:
+    """True if any sub-expression references the threshold knob."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id == THRESHOLD_NAME:
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr == THRESHOLD_NAME:
+            return True
+    return False
+
+
+class DispatchGateChecker(ast.NodeVisitor):
+    """Flag threshold comparisons outside the dispatch policy module."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.problems: list[str] = []
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if any(
+            _mentions_threshold(expr)
+            for expr in [node.left, *node.comparators]
+        ):
+            self.problems.append(
+                f"{self.path}:{node.lineno}: comparison against "
+                f"{THRESHOLD_NAME} outside repro.dispatch "
+                "(call repro.dispatch.use_numpy() instead)"
+            )
+        self.generic_visit(node)
+
+
+def _is_dispatch_owner(path: Path, root: Path) -> bool:
+    try:
+        return path.resolve() == (root / DISPATCH_OWNER).resolve()
+    except OSError:  # pragma: no cover - unresolvable path
+        return False
+
+
+def dispatch_gate_targets(root: Path) -> list[Path]:
+    """Every package module except the dispatch policy itself."""
+    return sorted(
+        p
+        for p in (root / "src" / "repro").rglob("*.py")
+        if not _is_dispatch_owner(p, root)
+    )
+
+
+def check_file(path: Path, root: Path | None = None) -> list[str]:
     tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
-    checker = HotLoopChecker(str(path))
-    checker.visit(tree)
-    return checker.problems
+    problems: list[str] = []
+    posix = path.as_posix()
+    if any(posix.endswith(mod) for mod in HOT_MODULES):
+        checker = HotLoopChecker(str(path))
+        checker.visit(tree)
+        problems.extend(checker.problems)
+    if root is None or not _is_dispatch_owner(path, root):
+        gate = DispatchGateChecker(str(path))
+        gate.visit(tree)
+        problems.extend(gate.problems)
+    return problems
 
 
 def main(argv: list[str]) -> int:
     root = Path(__file__).resolve().parent.parent
-    targets = [Path(arg) for arg in argv] if argv else [
-        root / mod for mod in HOT_MODULES
-    ]
+    if argv:
+        targets = [Path(arg) for arg in argv]
+    else:
+        hot = [root / mod for mod in HOT_MODULES]
+        targets = hot + [
+            p for p in dispatch_gate_targets(root) if p not in hot
+        ]
     missing = [str(p) for p in targets if not p.is_file()]
     if missing:
         print("lint-hot-loops: missing files:", ", ".join(missing))
         return 2
     problems: list[str] = []
     for path in targets:
-        problems.extend(check_file(path))
+        problems.extend(check_file(path, root))
     if problems:
         print(f"lint-hot-loops: {len(problems)} violation(s):")
         for line in problems:
             print(f"  {line}")
         return 1
-    print(f"lint-hot-loops: {len(targets)} hot module(s) clean")
+    print(f"lint-hot-loops: {len(targets)} module(s) clean")
     return 0
 
 
