@@ -20,6 +20,13 @@ lint:
 		echo "== lint --builder $$b"; \
 		PYTHONPATH=src $(PY) -m repro.cli lint --builder $$b || exit 1; \
 	done
+	@for f in tests/data/lint_corpus/*.json; do \
+		case $$f in */expected.json) continue;; esac; \
+		echo "== opt canonicalize $$f"; \
+		PYTHONPATH=src $(PY) -m repro.cli opt $$f --pipeline canonicalize \
+			--verify-each --fail-on never --out /tmp/repro_opt_out.json || exit 1; \
+		cmp /tmp/repro_opt_out.json $$f || exit 1; \
+	done
 	@if $(PY) -m ruff --version >/dev/null 2>&1; then \
 		$(PY) -m ruff check src tests tools || exit 1; \
 	else \

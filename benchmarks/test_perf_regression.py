@@ -115,3 +115,34 @@ def test_lint_sweep_under_one_second_on_p1024_all_to_all():
     assert schedule.is_array_backed  # lint never touched .sends
     assert report.num_sends == 1024 * 1023
     assert elapsed < 1.0, f"lint sweep took {elapsed:.3f}s (budget 1.0s)"
+
+
+def test_transform_pipeline_speedup_on_p512_all_to_all():
+    """PR-5 acceptance: the vectorized pass pipeline (reverse,
+    canonicalize, prune-dead-sends) must beat the object-path oracle by
+    at least 10x on the P=512 all-to-all without ever materializing a
+    SendOp list."""
+    from repro.bench import bench_transforms
+
+    row = bench_transforms(P=512, repeat=1)
+    assert row["materialized_sendops"] == 0
+    assert row["transform_speedup"] >= 10.0, (
+        f"pass pipeline only {row['transform_speedup']:.1f}x faster than "
+        f"objects oracle ({row['transform_objects_s']:.3f}s vs "
+        f"{row['transform_np_s']:.3f}s); acceptance floor is 10x"
+    )
+
+
+def test_recorded_bench_transform_gate():
+    """The committed BENCH_PR5.json must record the headline transform
+    speedup so regressions show up in review, not just nightly CI."""
+    import json
+
+    path = Path(__file__).resolve().parent.parent / "BENCH_PR5.json"
+    doc = json.loads(path.read_text())
+    rows = [r for r in doc["scenarios"]
+            if r["workload"] == "transform-pipeline"]
+    assert rows, "BENCH_PR5.json has no transform-pipeline row"
+    row = rows[0]
+    assert row["materialized_sendops"] == 0
+    assert row["transform_speedup"] >= 10.0

@@ -84,6 +84,7 @@ from repro.core.summation.schedule import (
 )
 from repro.core.tree import BroadcastTree, TreeNode, optimal_tree, tree_for_time
 from repro.params import LogPParams, postal
+from repro.passes import PassManager, SchedulePass, pass_names, run_pipeline
 from repro.registry import CollectiveSpec, get_spec, plan
 from repro.schedule.ops import ComputeOp, Schedule, SendOp
 from repro.sim.machine import Machine, replay
@@ -152,6 +153,11 @@ __all__ = [
     "all_to_all_lower_bound",
     "k_item_all_to_all_schedule",
     "k_item_all_to_all_lower_bound",
+    # pass framework
+    "SchedulePass",
+    "PassManager",
+    "run_pipeline",
+    "pass_names",
     # combining / reduction
     "simulate_combining",
     "combining_time",

@@ -12,6 +12,7 @@ from repro.baselines.summation import (
 )
 from repro.baselines.trees import (
     baseline_broadcast,
+    baseline_reduction,
     binary_tree_schedule,
     binomial_tree_schedule,
     chain_schedule,
@@ -20,7 +21,7 @@ from repro.baselines.trees import (
 
 __all__ = [
     "flat_schedule", "chain_schedule", "binary_tree_schedule",
-    "binomial_tree_schedule", "baseline_broadcast",
+    "binomial_tree_schedule", "baseline_broadcast", "baseline_reduction",
     "repeated_broadcast_schedule", "staggered_binomial_schedule",
     "scatter_allgather_schedule",
     "binary_reduction_time", "binary_reduction_capacity", "sequential_time",

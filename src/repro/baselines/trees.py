@@ -29,6 +29,7 @@ __all__ = [
     "binary_tree_schedule",
     "binomial_tree_schedule",
     "baseline_broadcast",
+    "baseline_reduction",
 ]
 
 
@@ -110,3 +111,27 @@ def baseline_broadcast(name: str, params: LogPParams) -> Schedule:
         return builders[name](params)
     except KeyError:
         raise ValueError(f"unknown baseline {name!r}; options: {sorted(builders)}")
+
+
+def baseline_reduction(name: str, params: LogPParams) -> Schedule:
+    """The named baseline tree, time-reversed into an all-to-one reduction.
+
+    Exactly the paper's §4.2 correspondence, applied to the baselines the
+    same way :func:`repro.core.combining.reduction_schedule` applies it
+    to the optimal tree: a verified ``reverse{tag=red}`` pass with every
+    processor initially holding its own partial, so baseline reduction
+    times equal baseline broadcast times tree-for-tree.
+    """
+    from repro.passes import PassManager, ReversePass
+
+    broadcast = baseline_broadcast(name, params)
+    manager = PassManager(
+        [
+            ReversePass(
+                tag="red",
+                initial={p: {("red", p)} for p in range(params.P)},
+            )
+        ],
+        verify="errors",
+    )
+    return manager.run(broadcast)

@@ -45,6 +45,7 @@ __all__ = [
     "bench_broadcast",
     "bench_all_to_all",
     "bench_kitem_all_to_all",
+    "bench_transforms",
     "run_bench",
     "write_bench",
 ]
@@ -223,10 +224,67 @@ def bench_kitem_all_to_all(
     return row
 
 
+def bench_transforms(
+    P: int = 1024,
+    L: int = 4,
+    repeat: int = 1,
+    pipeline: str = "reverse,canonicalize,prune-dead-sends",
+) -> dict[str, Any]:
+    """Transform throughput: a pass pipeline over the P-way all-to-all.
+
+    Times the PR-5 pass framework on both dispatch backends — the
+    vectorized columnar kernels against the per-``SendOp`` objects
+    oracle — plus the verified variant (``verify=errors`` re-lints
+    SCHED001-003 between passes).  The kernel run also asserts the
+    headline property: every intermediate schedule stays array-backed,
+    i.e. zero ``SendOp`` objects are materialized end to end.
+    """
+    from repro.passes import PassManager, parse_pipeline
+
+    params = postal(P=P, L=L)
+    schedule = registry.plan("all-to-all", params, backend="columnar")
+
+    def run_numpy() -> Schedule:
+        current = schedule
+        for p in parse_pipeline(pipeline):
+            p.backend = "numpy"
+            current = p.run(current)
+            assert current.is_array_backed, f"pass {p.name} materialized SendOps"
+        return current
+
+    np_s, np_result = time_call(run_numpy, repeat)
+    assert schedule.is_array_backed, "pipeline materialized the input schedule"
+    objects_s, _ = time_call(
+        lambda: PassManager(pipeline, verify="off", backend="objects").run(
+            schedule
+        ),
+        repeat,
+    )
+    verify_s, _ = time_call(
+        lambda: PassManager(pipeline, verify="errors", backend="numpy").run(
+            schedule
+        ),
+        repeat,
+    )
+    return {
+        "workload": "transform-pipeline",
+        "P": P,
+        "params": [params.P, params.L, params.o, params.g],
+        "sends": schedule.num_sends,
+        "pipeline": pipeline,
+        "transform_np_s": np_s,
+        "transform_objects_s": objects_s,
+        "transform_speedup": objects_s / np_s if np_s > 0 else float("inf"),
+        "verify_each_s": verify_s,
+        "materialized_sendops": 0 if np_result.is_array_backed else 1,
+    }
+
+
 def run_bench(
     sizes: tuple[int, ...] = (256, 1024, 4096),
     a2a_sizes: tuple[int, ...] = (256, 1024),
     kitem: tuple[int, int] = (256, 4),
+    transform_P: int = 1024,
     repeat: int = 1,
     verbose: bool = False,
 ) -> dict[str, Any]:
@@ -239,7 +297,9 @@ def run_bench(
             keys = [
                 k for k in ("build_s", "build_objects_s", "build_speedup",
                             "validate_s", "validate_scalar_s",
-                            "validate_np_s", "simulate_machine_s")
+                            "validate_np_s", "simulate_machine_s",
+                            "transform_np_s", "transform_objects_s",
+                            "transform_speedup", "verify_each_s")
                 if k in row
             ]
             timings = ", ".join(f"{k}={row[k]:.4f}" for k in keys)
@@ -255,11 +315,12 @@ def run_bench(
     for P in a2a_sizes:
         record(bench_all_to_all(P, repeat=repeat))
     record(bench_kitem_all_to_all(*kitem, repeat=repeat))
+    record(bench_transforms(transform_P, repeat=repeat))
     import numpy
 
     return {
-        "bench": "PR-4 unified registry + dispatch policy",
-        "baseline": "BENCH_PR2.json",
+        "bench": "PR-5 verified pass-pipeline framework",
+        "baseline": "BENCH_PR4.json",
         "command": "python -m repro.cli bench",
         "python": sys.version.split()[0],
         "numpy": numpy.__version__,

@@ -13,6 +13,10 @@ Usage::
     python -m repro.cli bench      [--out BENCH.json] [--repeat N] [--quick]
     python -m repro.cli lint       <schedule.json> [--format text|json]
     python -m repro.cli lint       --builder bcast --P 8 --L 6 --o 2 --g 4
+    python -m repro.cli opt        <schedule.json> --pipeline "shift{offset=5}"
+    python -m repro.cli opt        --builder all-to-all -P 1024 \
+                                   --pipeline "reverse,canonicalize" --verify-each
+    python -m repro.cli opt        --list-passes
 
 The builder tables behind ``plan``, ``figures`` and ``lint --builder``
 are not written here: they come from the collective registry
@@ -27,6 +31,13 @@ subcommand is the exception by design: it runs the *static* rule sweep
 fresh with any registered builder — with no simulation, and exits
 non-zero if anything at or above ``--fail-on`` (default: ``error``)
 fires.
+
+``opt`` drives the pass framework (:mod:`repro.passes`): it parses a
+textual pipeline, runs it through the :class:`~repro.passes.PassManager`
+(``--verify-each`` re-lints SCHED001-003 between passes), reports
+per-pass send/makespan deltas, and can write the result (``--out``) or
+emit the final lint as SARIF (``--format json``).  A verification
+failure exits 1 with a one-line diagnostic.
 
 Usage errors (unknown collective, malformed schedule JSON, conflicting
 inputs, out-of-domain parameters) exit with status 2 after a one-line
@@ -227,6 +238,7 @@ def cmd_sweeps(_args: argparse.Namespace) -> int:
 
     sweeps._print(sweeps.pt_recurrence_sweep(), "P(t) vs f_t (Thm 2.2)")
     sweeps._print(sweeps.broadcast_vs_baselines(), "broadcast vs baselines")
+    sweeps._print(sweeps.reduction_vs_baselines(), "reduction vs baselines (§4.2)")
     sweeps._print(sweeps.kitem_bounds_sweep(), "k-item bounds (Thms 3.1/3.6)")
     sweeps._print(sweeps.combining_sweep(), "combining broadcast (Thm 4.1)")
     sweeps._print(sweeps.summation_capacity_sweep(), "summation capacity (Lem 5.1)")
@@ -237,14 +249,20 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import run_bench, write_bench
 
     if args.quick:
-        sizes, a2a_sizes, kitem = (64, 128), (64,), (64, 2)
+        sizes, a2a_sizes, kitem, transform_P = (64, 128), (64,), (64, 2), 128
     else:
-        sizes, a2a_sizes, kitem = (256, 1024, 4096), (256, 1024), (256, 4)
-    print(f"running {len(sizes) + len(a2a_sizes) + 1} benchmark scenarios...")
+        sizes, a2a_sizes, kitem, transform_P = (
+            (256, 1024, 4096),
+            (256, 1024),
+            (256, 4),
+            1024,
+        )
+    print(f"running {len(sizes) + len(a2a_sizes) + 2} benchmark scenarios...")
     results = run_bench(
         sizes=sizes,
         a2a_sizes=a2a_sizes,
         kitem=kitem,
+        transform_P=transform_P,
         repeat=args.repeat,
         verbose=True,
     )
@@ -299,6 +317,69 @@ def cmd_lint(args: argparse.Namespace) -> int:
     if args.fail_on == "never":
         return 0
     return 1 if report.at_least(Severity.parse(args.fail_on)) else 0
+
+
+def cmd_opt(args: argparse.Namespace) -> int:
+    from repro.passes import PassManager, PassVerificationError, pass_specs
+
+    if args.list_passes:
+        for spec in pass_specs():
+            flags = "".join(
+                (
+                    "L" if spec.preserves_legality else "-",
+                    "C" if spec.preserves_completion else "-",
+                )
+            )
+            params = f"  ({spec.params_doc})" if spec.params_doc else ""
+            print(f"{spec.name:<17} [{flags}] {spec.summary}{params}")
+        return 0
+    if args.pipeline is None:
+        return _usage_error("opt requires --pipeline (or --list-passes)")
+    verify = args.verify or ("errors" if args.verify_each else "off")
+    try:
+        schedule = _lint_target(args)
+        manager = PassManager(args.pipeline, verify=verify, backend=args.backend)
+    except ValueError as exc:
+        return _usage_error(str(exc))
+    try:
+        result = manager.run(schedule)
+    except (PassVerificationError, ValueError) as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 1
+    if args.format == "text":
+        for rec in manager.records:
+            stats = "".join(
+                f", {key}={value}" for key, value in sorted(rec.stats.items())
+            )
+            verified = " [verified]" if rec.report is not None else ""
+            print(
+                f"[{rec.index + 1}] {rec.description}: "
+                f"sends {rec.sends_before} -> {rec.sends_after}, "
+                f"makespan {rec.makespan_before} -> {rec.makespan_after}"
+                f"{stats} ({rec.elapsed_s * 1e3:.1f} ms){verified}"
+            )
+        print(
+            f"pipeline: {len(manager.records)} passes, "
+            f"sends {schedule.num_sends} -> {result.num_sends}, "
+            f"verify={verify}"
+        )
+    if args.out is not None:
+        from repro.schedule.serialize import dump_schedule
+
+        dump_schedule(result, args.out)
+        if args.format == "text":
+            print(f"wrote {args.out}")
+    if args.format == "json" or args.fail_on != "never":
+        from repro.analyze import Severity, lint_schedule, sarif_json
+
+        report = lint_schedule(result)
+        if args.format == "json":
+            print(sarif_json(report))
+        if args.fail_on != "never" and report.at_least(
+            Severity.parse(args.fail_on)
+        ):
+            return 1
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -425,6 +506,78 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="include fix-it hints in text output"
     )
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "opt", help="run a verified pass pipeline over a schedule"
+    )
+    p.add_argument(
+        "schedule",
+        nargs="?",
+        default=None,
+        help="schedule JSON file (logp-schedule/1); omit when using --builder",
+    )
+    p.add_argument(
+        "--builder",
+        metavar="NAME",
+        help=(
+            "transform a freshly built paper schedule instead of a file; "
+            "any registered collective name or alias "
+            f"({', '.join(registry.spec_names())})"
+        ),
+    )
+    p.add_argument("-P", "--P", type=int, default=8, help="processors (builders)")
+    p.add_argument("-L", "--L", type=int, default=6, help="latency (builders)")
+    p.add_argument("--o", type=int, default=0, help="overhead (builders)")
+    p.add_argument("--g", type=int, default=1, help="gap (builders)")
+    p.add_argument("--k", type=int, default=4, help="items (kitem builder)")
+    p.add_argument("--n", type=int, default=32, help="operands (summation builder)")
+    p.add_argument("--t", type=int, default=None, help="time budget (summation)")
+    p.add_argument(
+        "--pipeline",
+        metavar="SPEC",
+        help='pass pipeline text, e.g. "shift{offset=5},canonicalize"',
+    )
+    p.add_argument(
+        "--verify-each",
+        action="store_true",
+        help="re-lint SCHED001-003 after every pass (verify=errors)",
+    )
+    p.add_argument(
+        "--verify",
+        choices=("errors", "all", "off"),
+        default=None,
+        help="verification mode (overrides --verify-each)",
+    )
+    p.add_argument(
+        "--backend",
+        choices=("objects", "numpy", "columnar"),
+        default=None,
+        help="force the dispatch backend for every pass",
+    )
+    p.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="write the transformed schedule JSON here",
+    )
+    p.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="per-pass text report or SARIF-shaped JSON of the final lint",
+    )
+    p.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "info", "never"),
+        default="error",
+        help="minimum post-pipeline lint severity that fails the run",
+    )
+    p.add_argument(
+        "--list-passes",
+        action="store_true",
+        help="list the registered passes and exit",
+    )
+    p.set_defaults(func=cmd_opt)
 
     return parser
 

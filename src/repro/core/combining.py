@@ -154,20 +154,25 @@ def reduction_schedule(params: LogPParams) -> Schedule:
     at ``B - s``, where ``B = B(P)``.  Leaf processors send first; the
     root receives the final partial at time ``B``.  Items are labeled
     ``("red", src)``.
+
+    Built as a verified pass pipeline: ``reverse{tag=red}`` on the
+    optimal broadcast, with every processor starting out holding its own
+    partial and the lint verifier (SCHED001-003) confirming legality of
+    the reversal.
     """
+    # passes -> transform -> analysis sits below this module in the
+    # import graph only at runtime; import lazily to keep repro.__init__
+    # (which imports combining before the registry) cycle-free.
+    from repro.passes import PassManager, ReversePass
+
     broadcast = optimal_broadcast_schedule(params)
-    B = max(op.arrival(params) for op in broadcast.sends) if broadcast.sends else 0
-    sends = [
-        SendOp(
-            time=B - op.arrival(params),
-            src=op.dst,
-            dst=op.src,
-            item=("red", op.dst),
-        )
-        for op in broadcast.sends
-    ]
-    return Schedule(
-        params=params,
-        sends=sorted(sends),
-        initial={p: {("red", p)} for p in range(params.P)},
+    manager = PassManager(
+        [
+            ReversePass(
+                tag="red",
+                initial={p: {("red", p)} for p in range(params.P)},
+            )
+        ],
+        verify="errors",
     )
+    return manager.run(broadcast)

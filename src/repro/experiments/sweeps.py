@@ -17,8 +17,8 @@ from repro.baselines.kitem import (
     staggered_binomial_schedule,
 )
 from repro.baselines.summation import binary_reduction_capacity
-from repro.baselines.trees import baseline_broadcast
-from repro.core.combining import combining_time, simulate_combining
+from repro.baselines.trees import baseline_broadcast, baseline_reduction
+from repro.core.combining import combining_time, reduction_schedule, simulate_combining
 from repro.core.fib import (
     broadcast_time,
     broadcast_time_postal,
@@ -31,11 +31,16 @@ from repro.core.kitem.single_sending import single_sending_schedule
 from repro.core.single_item import optimal_broadcast_schedule
 from repro.core.summation.capacity import summation_capacity, summation_tree
 from repro.params import LogPParams, postal
-from repro.schedule.analysis import broadcast_delay_per_proc, item_completion_times
+from repro.schedule.analysis import (
+    broadcast_delay_per_proc,
+    completion_time,
+    item_completion_times,
+)
 from repro.sim.machine import replay
 
 __all__ = [
     "broadcast_vs_baselines",
+    "reduction_vs_baselines",
     "kitem_bounds_sweep",
     "combining_sweep",
     "summation_capacity_sweep",
@@ -84,6 +89,42 @@ def broadcast_vs_baselines(machines=None) -> list[dict]:
             schedule = baseline_broadcast(name, machine)
             replay(schedule)
             row[name] = max(broadcast_delay_per_proc(schedule).values())
+        rows.append(row)
+    return rows
+
+
+def reduction_vs_baselines(machines=None) -> list[dict]:
+    """§4.2 correspondence in bulk: reduction mirrors broadcast exactly.
+
+    Every schedule here is produced by the verified pass pipeline
+    (``reverse{tag=red}`` through :class:`repro.passes.PassManager`), so
+    the sweep doubles as an end-to-end exercise of the framework: the
+    optimal reduction must finish in exactly ``B(P)`` cycles, and each
+    baseline reduction must tie its broadcast counterpart tree-for-tree.
+    """
+    if machines is None:
+        machines = [
+            LogPParams(P=8, L=6, o=2, g=4),  # Figure 1
+            LogPParams(P=16, L=4, o=1, g=2),
+            postal(P=16, L=1),
+            postal(P=41, L=3),
+        ]
+    rows = []
+    for machine in machines:
+        optimal = reduction_schedule(machine)
+        replay(optimal)
+        row = {
+            "P": machine.P,
+            "L": machine.L,
+            "o": machine.o,
+            "g": machine.g,
+            "B(P)": broadcast_time(machine.P, machine),
+            "optimal": completion_time(optimal),
+        }
+        for name in ("flat", "chain", "binary", "binomial"):
+            reduction = baseline_reduction(name, machine)
+            replay(reduction)
+            row[name] = completion_time(reduction)
         rows.append(row)
     return rows
 
@@ -175,6 +216,7 @@ def _print(rows: list[dict], title: str) -> None:  # pragma: no cover
 if __name__ == "__main__":  # pragma: no cover
     _print(pt_recurrence_sweep(), "P(t) vs f_t (Thm 2.2)")
     _print(broadcast_vs_baselines(), "single-item broadcast vs baselines")
+    _print(reduction_vs_baselines(), "reversed reduction vs baselines (§4.2)")
     _print(kitem_bounds_sweep(), "k-item bounds sandwich (Thms 3.1/3.6)")
     _print(combining_sweep(), "combining broadcast (Thm 4.1)")
     _print(summation_capacity_sweep(), "summation capacity (Lemma 5.1)")

@@ -1,0 +1,286 @@
+"""The built-in passes: five ported transforms + three normalizers.
+
+Each pass routes through :mod:`repro.dispatch` between the vectorized
+columnar kernel (:mod:`repro.passes.kernels`) and the pure-Python
+objects oracle (:mod:`repro.schedule.transform`).  The two paths are
+property-tested to produce byte-identical canonical JSON, so the oracle
+is the specification and the kernel is the implementation.
+
+Invariant table (see :class:`repro.passes.base.SchedulePass`):
+
+=================  ==================  ====================
+pass               preserves_legality  preserves_completion
+=================  ==================  ====================
+shift              yes                 yes (makespan)
+remap              yes                 yes
+reverse            yes                 yes
+concat             yes                 no
+restrict           yes                 no
+canonicalize       yes                 yes
+prune-dead-sends   yes                 no
+compact-time       yes                 no
+=================  ==================  ====================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, ClassVar, Hashable, Iterable, Mapping
+
+from repro.passes import kernels
+from repro.passes.base import SchedulePass, register_pass
+from repro.schedule.ops import Schedule, SendOp
+
+__all__ = [
+    "ShiftPass",
+    "RemapPass",
+    "ReversePass",
+    "ConcatPass",
+    "RestrictPass",
+    "CanonicalizePass",
+    "PruneDeadSendsPass",
+    "CompactTimePass",
+]
+
+Item = Hashable
+
+
+def _oracle() -> Any:
+    # transform.py imports this module at import time (it is a shim over
+    # the passes); resolving the oracle lazily breaks the cycle.
+    from repro.schedule import transform
+
+    return transform
+
+
+@register_pass
+class ShiftPass(SchedulePass):
+    """Translate every send and creation time by a constant offset."""
+
+    name: ClassVar[str] = "shift"
+    summary: ClassVar[str] = "translate all times by a constant offset"
+    params_doc: ClassVar[str] = "offset=<int> (may be negative)"
+
+    def __init__(self, offset: int = 0, backend: str | None = None):
+        super().__init__(backend=backend)
+        self.offset = int(offset)
+
+    def params(self) -> dict[str, Any]:
+        return {"offset": self.offset}
+
+    def run(self, schedule: Schedule) -> Schedule:
+        if self._use_numpy(schedule):
+            return kernels.shift_columns(schedule, self.offset)
+        return _oracle().shift_objects(schedule, self.offset)
+
+
+@register_pass
+class RemapPass(SchedulePass):
+    """Relabel processors by an injective mapping.
+
+    Programmatic use passes ``mapping={old: new, ...}``; pipeline text
+    uses the named permutation ``perm=reverse`` (``p -> P-1-p``).
+    """
+
+    name: ClassVar[str] = "remap"
+    summary: ClassVar[str] = "relabel processors by an injective mapping"
+    params_doc: ClassVar[str] = "perm=reverse | mapping={old: new} (API only)"
+
+    def __init__(
+        self,
+        mapping: Mapping[int, int] | None = None,
+        perm: str | None = None,
+        backend: str | None = None,
+    ):
+        super().__init__(backend=backend)
+        if (mapping is None) == (perm is None):
+            raise ValueError("remap needs exactly one of mapping= or perm=")
+        if perm is not None and perm != "reverse":
+            raise ValueError(f"unknown remap perm {perm!r} (known: reverse)")
+        self.mapping = dict(mapping) if mapping is not None else None
+        self.perm = perm
+
+    def params(self) -> dict[str, Any]:
+        if self.perm is not None:
+            return {"perm": self.perm}
+        return {}
+
+    def _mapping_for(self, schedule: Schedule) -> dict[int, int]:
+        if self.mapping is not None:
+            return self.mapping
+        top = schedule.params.P - 1
+        return {p: top - p for p in range(schedule.params.P)}
+
+    def run(self, schedule: Schedule) -> Schedule:
+        mapping = self._mapping_for(schedule)
+        if self._use_numpy(schedule):
+            return kernels.remap_columns(schedule, mapping)
+        return _oracle().remap_objects(schedule, mapping)
+
+
+@register_pass
+class ReversePass(SchedulePass):
+    """Time-reverse the schedule (broadcast -> reduction, paper §4.2).
+
+    Sends swap direction and run backwards from the completion time;
+    items are relabelled ``(tag, original_dst)``.  ``initial`` overrides
+    the default "every sender starts holding its item" placement (the
+    reduction rewiring passes all-processors initial ownership);
+    ``item_of`` customizes labelling and forces the objects oracle, as
+    arbitrary Python labelling cannot be vectorized.
+    """
+
+    name: ClassVar[str] = "reverse"
+    summary: ClassVar[str] = "time-reverse sends (broadcast <-> reduction)"
+    params_doc: ClassVar[str] = "tag=<str> (item label prefix, default rev)"
+
+    def __init__(
+        self,
+        tag: str = "rev",
+        initial: dict[int, set[Item]] | None = None,
+        item_of: Callable[[SendOp], Item] | None = None,
+        backend: str | None = None,
+    ):
+        super().__init__(backend=backend)
+        self.tag = tag
+        self.initial = initial
+        self.item_of = item_of
+
+    def params(self) -> dict[str, Any]:
+        if self.tag == "rev":
+            return {}
+        return {"tag": self.tag}
+
+    def run(self, schedule: Schedule) -> Schedule:
+        if self.item_of is None and self._use_numpy(schedule):
+            return kernels.reverse_columns(
+                schedule, tag=self.tag, initial=self.initial
+            )
+        return _oracle().reverse_objects(
+            schedule, tag=self.tag, initial=self.initial, item_of=self.item_of
+        )
+
+
+@register_pass
+class ConcatPass(SchedulePass):
+    """Append a second schedule after this one finishes (API only).
+
+    The second schedule's parameter is a live :class:`Schedule`, so this
+    pass is constructed programmatically, not from pipeline text.
+    """
+
+    name: ClassVar[str] = "concat"
+    summary: ClassVar[str] = "run a second schedule after the first finishes"
+    params_doc: ClassVar[str] = "second=<Schedule> (API only)"
+    preserves_completion: ClassVar[bool] = False
+
+    def __init__(self, second: Schedule, backend: str | None = None):
+        super().__init__(backend=backend)
+        self.second = second
+
+    def run(self, schedule: Schedule) -> Schedule:
+        if self._use_numpy(schedule):
+            return kernels.concat_columns(schedule, self.second)
+        return _oracle().concat_objects(schedule, self.second)
+
+
+def parse_procs(spec: str) -> set[int]:
+    """Parse the pipeline-text processor-set grammar.
+
+    ``"lo:hi"`` is the half-open range ``lo..hi-1``; ``"a+b+c"`` is an
+    explicit set; a single integer is a singleton.
+    """
+    text = spec.strip()
+    if ":" in text:
+        lo_text, _, hi_text = text.partition(":")
+        lo, hi = int(lo_text), int(hi_text)
+        if hi <= lo:
+            raise ValueError(f"empty processor range {spec!r}")
+        return set(range(lo, hi))
+    return {int(part) for part in text.split("+")}
+
+
+@register_pass
+class RestrictPass(SchedulePass):
+    """Keep only sends whose endpoints both lie in a processor set."""
+
+    name: ClassVar[str] = "restrict"
+    summary: ClassVar[str] = "drop sends leaving a processor subset"
+    params_doc: ClassVar[str] = "procs=<lo:hi | a+b+c>"
+    preserves_completion: ClassVar[bool] = False
+
+    def __init__(
+        self, procs: Iterable[int] | str, backend: str | None = None
+    ):
+        super().__init__(backend=backend)
+        self.procs = parse_procs(procs) if isinstance(procs, str) else set(procs)
+
+    def params(self) -> dict[str, Any]:
+        return {"procs": "+".join(str(p) for p in sorted(self.procs))}
+
+    def run(self, schedule: Schedule) -> Schedule:
+        if self._use_numpy(schedule):
+            return kernels.restrict_columns(schedule, self.procs)
+        return _oracle().restrict_objects(schedule, self.procs)
+
+
+@register_pass
+class CanonicalizePass(SchedulePass):
+    """Stable ``(time, src, dst)`` sort + item-table compaction.
+
+    After this pass, column storage order equals canonical JSON order and
+    the item table holds exactly the referenced items in first-use order.
+    Sets ``stats["dropped_items"]``.
+    """
+
+    name: ClassVar[str] = "canonicalize"
+    summary: ClassVar[str] = "sort sends canonically, compact the item table"
+
+    def run(self, schedule: Schedule) -> Schedule:
+        if self._use_numpy(schedule):
+            result, dropped = kernels.canonicalize_columns(schedule)
+        else:
+            result, dropped = _oracle().canonicalize_objects(schedule)
+        self.stats["dropped_items"] = dropped
+        return result
+
+
+@register_pass
+class PruneDeadSendsPass(SchedulePass):
+    """Delete every SCHED004 dead send (destination already holds item).
+
+    Sets ``stats["removed_sends"]``; the result re-lints SCHED004-clean
+    in a single application (removal never changes first availability).
+    """
+
+    name: ClassVar[str] = "prune-dead-sends"
+    summary: ClassVar[str] = "delete sends whose payload the dst already holds"
+    preserves_completion: ClassVar[bool] = False
+
+    def run(self, schedule: Schedule) -> Schedule:
+        if self._use_numpy(schedule):
+            result, removed = kernels.prune_dead_sends_columns(schedule)
+        else:
+            result, removed = _oracle().prune_dead_sends_objects(schedule)
+        self.stats["removed_sends"] = removed
+        return result
+
+
+@register_pass
+class CompactTimePass(SchedulePass):
+    """Left-shift globally idle cycles without violating L/o/g spacing.
+
+    Collapses timeline gaps no send's constraint horizon
+    (``L + 2o + g``) reaches across; sets ``stats["reclaimed_cycles"]``.
+    """
+
+    name: ClassVar[str] = "compact-time"
+    summary: ClassVar[str] = "collapse globally idle cycles in the timeline"
+    preserves_completion: ClassVar[bool] = False
+
+    def run(self, schedule: Schedule) -> Schedule:
+        if self._use_numpy(schedule):
+            result, reclaimed = kernels.compact_time_columns(schedule)
+        else:
+            result, reclaimed = _oracle().compact_time_objects(schedule)
+        self.stats["reclaimed_cycles"] = reclaimed
+        return result

@@ -1,0 +1,101 @@
+"""Textual pipeline syntax: ``"shift{offset=5},remap{perm=reverse}"``.
+
+The grammar follows the MLIR/xdsl pass-pipeline shape: a comma-separated
+sequence of pass invocations, each a registered pass name optionally
+followed by ``{key=value,...}`` parameters.  Integer-looking values are
+coerced to ``int`` (with an optional leading ``-``); everything else is
+passed through as a string, which covers ``perm=reverse``, ``tag=red``
+and the ``procs=0:4`` / ``procs=0+2+5`` processor-set grammar.
+
+All syntax and unknown-name errors are raised as ``ValueError`` with the
+offending segment quoted, so the CLI can surface them as one-line
+``repro: error:`` diagnostics.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.passes.base import SchedulePass, make_pass
+
+__all__ = ["parse_pipeline", "format_pipeline"]
+
+_SEGMENT = re.compile(
+    r"^(?P<name>[A-Za-z][A-Za-z0-9_-]*)(?:\{(?P<params>[^{}]*)\})?$"
+)
+_INT = re.compile(r"^-?\d+$")
+
+
+def _split_segments(text: str) -> list[str]:
+    """Split on commas outside braces; rejects unbalanced braces."""
+    segments: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for ch in text:
+        if ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+            if depth < 0:
+                raise ValueError(f"unbalanced '}}' in pipeline {text!r}")
+        if ch == "," and depth == 0:
+            segments.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if depth != 0:
+        raise ValueError(f"unbalanced '{{' in pipeline {text!r}")
+    segments.append("".join(current))
+    return segments
+
+
+def _parse_params(params_text: str, segment: str) -> dict[str, int | str]:
+    params: dict[str, int | str] = {}
+    for part in params_text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, eq, raw = part.partition("=")
+        key = key.strip()
+        raw = raw.strip()
+        if not eq or not key or not raw:
+            raise ValueError(
+                f"malformed pass parameter {part!r} in {segment!r} "
+                "(expected key=value)"
+            )
+        if key in params:
+            raise ValueError(f"duplicate parameter {key!r} in {segment!r}")
+        params[key] = int(raw) if _INT.match(raw) else raw
+    return params
+
+
+def parse_pipeline(text: str) -> list[SchedulePass]:
+    """Parse pipeline text into instantiated passes.
+
+    >>> [p.describe() for p in parse_pipeline("shift{offset=5},canonicalize")]
+    ['shift{offset=5}', 'canonicalize']
+    """
+    stripped = text.strip()
+    if not stripped:
+        raise ValueError("empty pipeline")
+    passes: list[SchedulePass] = []
+    for raw_segment in _split_segments(stripped):
+        segment = raw_segment.strip()
+        if not segment:
+            raise ValueError(f"empty pass segment in pipeline {text!r}")
+        match = _SEGMENT.match(segment)
+        if match is None:
+            raise ValueError(f"malformed pass segment {segment!r}")
+        params_text = match.group("params")
+        params = (
+            _parse_params(params_text, segment)
+            if params_text is not None
+            else {}
+        )
+        passes.append(make_pass(match.group("name"), **params))
+    return passes
+
+
+def format_pipeline(passes: list[SchedulePass]) -> str:
+    """Inverse of :func:`parse_pipeline` for text-constructible passes."""
+    return ",".join(p.describe() for p in passes)

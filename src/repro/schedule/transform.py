@@ -1,8 +1,16 @@
 """Schedule transformations: shift, remap, reverse, compose, restrict.
 
-Algebraic operations on schedules that preserve LogP legality (each is
-documented with the property it preserves; the test suite verifies them
-by replaying transformed schedules):
+Since PR 5 the public functions here are thin shims over the pass
+framework (:mod:`repro.passes`): each builds the corresponding
+registered pass and runs it, so large schedules automatically take the
+vectorized columnar kernels while small ones stay on plain objects (the
+decision belongs to :mod:`repro.dispatch`; ``backend=`` overrides it per
+call).  The ``*_objects`` functions below are the pure-Python oracles —
+the executable specification the kernels are property-tested against
+(byte-identical canonical JSON) — and are what the passes run on the
+objects path.
+
+Algebraic properties (verified by replaying transformed schedules):
 
 * :func:`shift` — translate all send times by a constant (legality is
   translation-invariant);
@@ -22,18 +30,94 @@ by replaying transformed schedules):
 
 from __future__ import annotations
 
+import bisect
 from typing import Callable, Hashable, Iterable, Mapping
 
+from repro.passes.kernels import merge_source_items
+from repro.passes.library import (
+    ConcatPass,
+    RemapPass,
+    RestrictPass,
+    ReversePass,
+    ShiftPass,
+)
+from repro.schedule.analysis import availability
 from repro.schedule.ops import Schedule, SendOp
 
 __all__ = ["shift", "remap", "reverse", "concat", "restrict"]
 
+Item = Hashable
 
-def shift(schedule: Schedule, offset: int) -> Schedule:
+
+def shift(schedule: Schedule, offset: int, backend: str | None = None) -> Schedule:
     """Translate every send (and source-item creation) by ``offset``.
 
     ``offset`` may be negative as long as no send starts before cycle 0.
     """
+    return ShiftPass(offset, backend=backend).run(schedule)
+
+
+def remap(
+    schedule: Schedule, mapping: Mapping[int, int], backend: str | None = None
+) -> Schedule:
+    """Rename processors; ``mapping`` must be injective on those used."""
+    return RemapPass(mapping=mapping, backend=backend).run(schedule)
+
+
+def reverse(
+    schedule: Schedule,
+    item_of: Callable[[SendOp], Item] | None = None,
+    initial: dict[int, set[Item]] | None = None,
+    backend: str | None = None,
+) -> Schedule:
+    """Time-reverse around the completion time, swapping directions.
+
+    A message sent at ``s`` (received at ``s + L + 2o``) becomes one sent
+    at ``C - (s + L + 2o)`` from the old receiver to the old sender,
+    where ``C`` is the completion time.  ``item_of`` relabels items (the
+    default tags them ``("rev", old_dst)`` — the partial-sum convention
+    of the reduction correspondence; custom labelling runs on the objects
+    oracle); ``initial`` overrides the reversed schedule's initial
+    placement (default: every processor holds the items it will send).
+    The result's ``source_items`` record each reversed item's earliest
+    send time, so causality re-validation stays meaningful.
+    """
+    return ReversePass(initial=initial, item_of=item_of, backend=backend).run(
+        schedule
+    )
+
+
+def concat(first: Schedule, second: Schedule, backend: str | None = None) -> Schedule:
+    """Sequential composition: ``second`` starts after ``first`` finishes.
+
+    The boundary spacing is ``max(g, o)`` cycles after the last arrival,
+    which suffices for every per-processor gap/overhead constraint to
+    hold across the seam.  Initial placements of ``second`` are assumed
+    to be satisfied by ``first``'s effects (the caller's responsibility —
+    items are merged into the combined initial set so causality checks
+    pass only if that is true or items differ).  ``source_items`` keys
+    present in both schedules with different creation times raise
+    ``ValueError`` instead of being silently overwritten.
+    """
+    return ConcatPass(second, backend=backend).run(first)
+
+
+def restrict(
+    schedule: Schedule, procs: Iterable[int], backend: str | None = None
+) -> Schedule:
+    """Keep only messages whose both endpoints lie in ``procs``."""
+    return RestrictPass(procs, backend=backend).run(schedule)
+
+
+# --------------------------------------------------------------------------
+# Objects oracles.  Pure-Python reference implementations; the columnar
+# kernels in repro.passes.kernels are property-tested byte-identical
+# against these.  Not part of the public API (use the shims above).
+# --------------------------------------------------------------------------
+
+
+def shift_objects(schedule: Schedule, offset: int) -> Schedule:
+    """Objects oracle for :func:`shift`."""
     if schedule.sends and min(op.time for op in schedule.sends) + offset < 0:
         raise ValueError("shift would move a send before cycle 0")
     return Schedule(
@@ -49,8 +133,8 @@ def shift(schedule: Schedule, offset: int) -> Schedule:
     )
 
 
-def remap(schedule: Schedule, mapping: Mapping[int, int]) -> Schedule:
-    """Rename processors; ``mapping`` must be injective on those used."""
+def remap_objects(schedule: Schedule, mapping: Mapping[int, int]) -> Schedule:
+    """Objects oracle for :func:`remap`."""
     used = schedule.processors()
     image = {mapping.get(p, p) for p in used}
     if len(image) != len(used):
@@ -70,28 +154,20 @@ def remap(schedule: Schedule, mapping: Mapping[int, int]) -> Schedule:
     )
 
 
-def reverse(
+def reverse_objects(
     schedule: Schedule,
-    item_of: Callable[[SendOp], Hashable] | None = None,
-    initial: dict[int, set] | None = None,
+    tag: str = "rev",
+    initial: dict[int, set[Item]] | None = None,
+    item_of: Callable[[SendOp], Item] | None = None,
 ) -> Schedule:
-    """Time-reverse around the completion time, swapping directions.
-
-    A message sent at ``s`` (received at ``s + L + 2o``) becomes one sent
-    at ``C - (s + L + 2o)`` from the old receiver to the old sender,
-    where ``C`` is the completion time.  ``item_of`` relabels items (the
-    default tags them ``("rev", old_dst)`` — the partial-sum convention
-    of the reduction correspondence); ``initial`` overrides the reversed
-    schedule's initial placement (default: every processor holds the
-    items it will send).
-    """
+    """Objects oracle for :func:`reverse` (see shim docstring)."""
     params = schedule.params
     if not schedule.sends:
         return Schedule(params=params, initial=initial or dict(schedule.initial))
     completion = max(op.arrival(params) for op in schedule.sends)
 
-    def default_item(op: SendOp) -> Hashable:
-        return ("rev", op.dst)
+    def default_item(op: SendOp) -> Item:
+        return (tag, op.dst)
 
     label = item_of or default_item
     sends = [
@@ -103,29 +179,32 @@ def reverse(
         )
         for op in schedule.sends
     ]
+    source_items: dict[Item, int] = {}
+    for op in sends:
+        known = source_items.get(op.item)
+        if known is None or op.time < known:
+            source_items[op.item] = op.time
     if initial is None:
         initial = {}
         for op in sends:
             initial.setdefault(op.src, set()).add(op.item)
-    return Schedule(params=params, sends=sorted(sends), initial=initial)
+    return Schedule(
+        params=params,
+        sends=sorted(sends),
+        initial=initial,
+        source_items=source_items,
+    )
 
 
-def concat(first: Schedule, second: Schedule) -> Schedule:
-    """Sequential composition: ``second`` starts after ``first`` finishes.
-
-    The boundary spacing is ``max(g, o)`` cycles after the last arrival,
-    which suffices for every per-processor gap/overhead constraint to
-    hold across the seam.  Initial placements of ``second`` are assumed
-    to be satisfied by ``first``'s effects (the caller's responsibility —
-    items are merged into the combined initial set so causality checks
-    pass only if that is true or items differ).
-    """
+def concat_objects(first: Schedule, second: Schedule) -> Schedule:
+    """Objects oracle for :func:`concat`."""
     if first.params != second.params:
         raise ValueError("cannot concatenate schedules for different machines")
     params = first.params
     finish = max((op.arrival(params) for op in first.sends), default=0)
-    offset = finish + max(params.g, params.o, 1)
-    moved = shift(second, offset)
+    # params guarantee g >= 1, so max(g, o) is the documented spacing and
+    # is already positive — the old `max(g, o, 1)` floor was dead code.
+    moved = shift_objects(second, finish + max(params.g, params.o))
     initial = {p: set(items) for p, items in first.initial.items()}
     for p, items in moved.initial.items():
         initial.setdefault(p, set()).update(items)
@@ -133,12 +212,12 @@ def concat(first: Schedule, second: Schedule) -> Schedule:
         params=params,
         sends=sorted(first.sends + moved.sends),
         initial=initial,
-        source_items={**first.source_items, **moved.source_items},
+        source_items=merge_source_items(first.source_items, moved.source_items),
     )
 
 
-def restrict(schedule: Schedule, procs: Iterable[int]) -> Schedule:
-    """Keep only messages whose both endpoints lie in ``procs``."""
+def restrict_objects(schedule: Schedule, procs: Iterable[int]) -> Schedule:
+    """Objects oracle for :func:`restrict`."""
     keep = set(procs)
     return Schedule(
         params=schedule.params,
@@ -148,5 +227,109 @@ def restrict(schedule: Schedule, procs: Iterable[int]) -> Schedule:
         initial={
             p: set(items) for p, items in schedule.initial.items() if p in keep
         },
-        source_items=dict(schedule.source_items),
+        source_items=merge_source_items(schedule.source_items, {}),
+    )
+
+
+def canonicalize_objects(schedule: Schedule) -> tuple[Schedule, int]:
+    """Objects oracle for the ``canonicalize`` pass.
+
+    Returns ``(canonical schedule, item-table entries dropped)``; on the
+    objects path the drop count still reports how many entries of the
+    *input's* interning table no send references.
+    """
+    sends = sorted(
+        schedule.sends, key=lambda op: (op.time, op.src, op.dst)
+    )
+    referenced = {op.item for op in sends}
+    dropped = len(schedule.columns().table) - len(referenced)
+    return (
+        Schedule(
+            params=schedule.params,
+            sends=sends,
+            initial={p: set(items) for p, items in schedule.initial.items()},
+            source_items=dict(schedule.source_items),
+        ),
+        dropped,
+    )
+
+
+def prune_dead_sends_objects(schedule: Schedule) -> tuple[Schedule, int]:
+    """Objects oracle for the ``prune-dead-sends`` pass."""
+    avail = availability(schedule, backend="objects")
+    kept = [
+        op for op in schedule.sends if avail[(op.dst, op.item)] > op.time
+    ]
+    removed = len(schedule.sends) - len(kept)
+    return (
+        Schedule(
+            params=schedule.params,
+            sends=kept,
+            initial={p: set(items) for p, items in schedule.initial.items()},
+            source_items=dict(schedule.source_items),
+        ),
+        removed,
+    )
+
+
+def compact_time_objects(schedule: Schedule) -> tuple[Schedule, int]:
+    """Objects oracle for the ``compact-time`` pass.
+
+    Mirrors :func:`repro.passes.kernels.compact_time_columns`: every send
+    reserves ``[t, t + L + 2o + g]``, creation times reserve their own
+    cycle, and uncovered cycles are deleted from the timeline.
+    """
+    params = schedule.params
+    reserve = params.L + 2 * params.o + params.g
+    deltas: dict[int, int] = {}
+    for op in schedule.sends:
+        deltas[op.time] = deltas.get(op.time, 0) + 1
+        end = op.time + reserve + 1
+        deltas[end] = deltas.get(end, 0) - 1
+    for when in schedule.source_items.values():
+        deltas[when] = deltas.get(when, 0) + 1
+        deltas[when + 1] = deltas.get(when + 1, 0) - 1
+    copy_initial = {p: set(items) for p, items in schedule.initial.items()}
+    if not deltas:
+        return (
+            Schedule(
+                params=params,
+                sends=list(schedule.sends),
+                initial=copy_initial,
+                source_items={},
+            ),
+            0,
+        )
+    coords = sorted(deltas)
+    gap_ends: list[int] = []
+    removed_cum = [0]
+    coverage = 0
+    for left, right in zip(coords, coords[1:]):
+        coverage += deltas[left]
+        if coverage == 0:
+            gap_ends.append(right)
+            removed_cum.append(removed_cum[-1] + (right - left))
+
+    def compacted(when: int) -> int:
+        return when - removed_cum[bisect.bisect_right(gap_ends, when)]
+
+    return (
+        Schedule(
+            params=params,
+            sends=[
+                SendOp(
+                    time=compacted(op.time),
+                    src=op.src,
+                    dst=op.dst,
+                    item=op.item,
+                )
+                for op in schedule.sends
+            ],
+            initial=copy_initial,
+            source_items={
+                item: compacted(when)
+                for item, when in schedule.source_items.items()
+            },
+        ),
+        removed_cum[-1],
     )

@@ -47,6 +47,12 @@ MODULES = [
     "repro.schedule.analysis_np",
     "repro.schedule.transform",
     "repro.schedule.serialize",
+    "repro.passes",
+    "repro.passes.base",
+    "repro.passes.kernels",
+    "repro.passes.library",
+    "repro.passes.pipeline",
+    "repro.passes.manager",
     "repro.sim.machine",
     "repro.sim.validate",
     "repro.sim.validate_np",

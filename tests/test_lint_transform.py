@@ -89,7 +89,7 @@ class TestCompositionErrorFreedom:
     @SETTINGS
     @given(sched=clean_schedules())
     def test_concat_with_itself_is_error_free(self, sched):
-        # concat merges source_items by overwrite (second copy wins), so
+        # concat raises on conflicting source_items keys, so
         # self-composition is only well-defined without creation times —
         # drop them (making items available from t=0 is strictly more
         # permissive, per the "caller's responsibility" clause)

@@ -63,6 +63,16 @@ class TestReverse:
         empty = Schedule(params=postal(P=2, L=1))
         assert len(reverse(empty)) == 0
 
+    def test_source_items_record_leaf_creation(self):
+        # regression: reverse used to drop source_items entirely, so the
+        # lint context treated every reversed item as never created
+        s = optimal_broadcast_schedule(FIG1)
+        red = reverse(s)
+        assert red.source_items
+        for item, when in red.source_items.items():
+            first_send = min(op.time for op in red.sends if op.item == item)
+            assert when == first_send
+
 
 class TestConcat:
     def test_two_broadcasts_back_to_back(self):
@@ -87,6 +97,42 @@ class TestConcat:
         a = optimal_broadcast_schedule(postal(P=4, L=2))
         b = optimal_broadcast_schedule(postal(P=4, L=3))
         with pytest.raises(ValueError):
+            concat(a, b)
+
+    def test_spacing_is_max_g_o(self):
+        # the docstring promises a max(g, o) gap after the first
+        # schedule's completion; g >= 1 makes the old max(g, o, 1)
+        # floor unreachable, so the code now matches the docs
+        a = optimal_broadcast_schedule(FIG1)
+        from repro.core.single_item import schedule_from_tree
+        from repro.core.tree import optimal_tree
+
+        b = schedule_from_tree(optimal_tree(FIG1), item=1)
+        combined = concat(a, b)
+        finish = max(op.arrival(FIG1) for op in a.sends)
+        second_start = min(op.time for op in combined.sends if op.item == 1)
+        assert second_start == finish + max(FIG1.g, FIG1.o)
+
+    def test_conflicting_source_items_rejected(self):
+        from repro.schedule.ops import Schedule, SendOp
+
+        params = postal(P=2, L=1)
+        a = Schedule(
+            params=params,
+            sends=[SendOp(time=0, src=0, dst=1, item=0)],
+            initial={0: {0}},
+            source_items={0: 0},
+        )
+        b = Schedule(
+            params=params,
+            sends=[SendOp(time=0, src=0, dst=1, item=0)],
+            initial={0: {0}},
+            source_items={0: 0},
+        )
+        # after shifting, the second copy claims item 0 was created at a
+        # different cycle than the first — silently overwriting would
+        # corrupt the lint context, so concat refuses
+        with pytest.raises(ValueError, match="conflicting source_items"):
             concat(a, b)
 
 

@@ -53,6 +53,14 @@ HOT_MODULES = [
     "src/repro/analyze/engine.py",
 ]
 
+#: Whole packages that must stay free of per-send Python loops.  The
+#: pass framework promises zero SendOp materialization end to end, so
+#: every module under it is hot (the objects oracles live outside, in
+#: ``repro.schedule.transform``).
+HOT_PACKAGES = [
+    "src/repro/passes",
+]
+
 #: Calling any of these materializes / iterates SendOp objects.
 BANNED_CALLS = {"sorted_sends", "sends_by_proc", "receives_by_proc"}
 
@@ -165,7 +173,10 @@ def check_file(path: Path, root: Path | None = None) -> list[str]:
     tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
     problems: list[str] = []
     posix = path.as_posix()
-    if any(posix.endswith(mod) for mod in HOT_MODULES):
+    hot = any(posix.endswith(mod) for mod in HOT_MODULES) or any(
+        f"{pkg}/" in posix for pkg in HOT_PACKAGES
+    )
+    if hot:
         checker = HotLoopChecker(str(path))
         checker.visit(tree)
         problems.extend(checker.problems)
@@ -182,6 +193,8 @@ def main(argv: list[str]) -> int:
         targets = [Path(arg) for arg in argv]
     else:
         hot = [root / mod for mod in HOT_MODULES]
+        for pkg in HOT_PACKAGES:
+            hot.extend(sorted((root / pkg).rglob("*.py")))
         targets = hot + [
             p for p in dispatch_gate_targets(root) if p not in hot
         ]
