@@ -146,3 +146,49 @@ def test_recorded_bench_transform_gate():
     row = rows[0]
     assert row["materialized_sendops"] == 0
     assert row["transform_speedup"] >= 10.0
+
+
+def test_implicit_lint_p1e6_bounded_memory():
+    """PR-6 acceptance: linting a P=10^6 implicit broadcast plan never
+    materializes the ~10^6 send columns — peak traced memory is bounded
+    by the streamed chunk size, not by P.  Demonstrated directly: a
+    *smaller* chunk at P=10^6 must peak below a *bigger* chunk at
+    P=10^5, which no O(P) representation could manage."""
+    from repro.bench import bench_implicit_lint
+
+    big = bench_implicit_lint(1_000_000)
+    assert big["sends"] == 999_999
+    assert big["lint_errors"] == 0
+    assert big["rules_run"] == 7
+    assert big["lint_s"] < 5.0, f"P=1e6 lint took {big['lint_s']:.2f}s"
+    # absolute ceiling at the default 64Ki chunk (measured ~11 MB)
+    assert big["lint_peak_bytes"] < 32 * 2**20, (
+        f"P=1e6 lint peaked at {big['lint_peak_bytes'] / 2**20:.1f} MB "
+        f"(ceiling 32 MB)"
+    )
+    small_chunk = bench_implicit_lint(1_000_000, chunk_sends=16_384)
+    medium_P = bench_implicit_lint(100_000, chunk_sends=65_536)
+    assert small_chunk["lint_errors"] == medium_P["lint_errors"] == 0
+    assert small_chunk["lint_peak_bytes"] < medium_P["lint_peak_bytes"], (
+        f"peak memory follows P, not the chunk size: P=1e6@16Ki peaked "
+        f"at {small_chunk['lint_peak_bytes']} bytes vs P=1e5@64Ki at "
+        f"{medium_P['lint_peak_bytes']} bytes"
+    )
+
+
+def test_recorded_bench_implicit_gate():
+    """The committed BENCH_PR6.json must record the headline P=10^6
+    bounded-memory lint so regressions show up in review, not just
+    nightly CI."""
+    import json
+
+    path = Path(__file__).resolve().parent.parent / "BENCH_PR6.json"
+    doc = json.loads(path.read_text())
+    rows = {r["P"]: r for r in doc["scenarios"]
+            if r["workload"] == "implicit-lint"}
+    assert 1_000_000 in rows, "BENCH_PR6.json has no P=1e6 implicit-lint row"
+    row = rows[1_000_000]
+    assert row["sends"] == 999_999
+    assert row["lint_errors"] == 0
+    assert row["lint_peak_bytes"] < 32 * 2**20
+    assert row["lint_s"] < 5.0

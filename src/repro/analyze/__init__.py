@@ -29,6 +29,12 @@ over ``.sends`` in hot modules) live in ``pyproject.toml`` and CI; this
 package is the schedule tier.
 """
 
+from repro.analyze.chunked import (
+    AGGREGATE_RULES,
+    PER_CHUNK_RULES,
+    WHOLE_SCHEDULE_RULES,
+    lint_implicit,
+)
 from repro.analyze.context import LintContext, Workload, detect_workload
 from repro.analyze.diagnostics import (
     MAX_EMITTED_PER_RULE,
@@ -49,6 +55,10 @@ __all__ = [
     "Workload",
     "detect_workload",
     "lint_schedule",
+    "lint_implicit",
+    "PER_CHUNK_RULES",
+    "AGGREGATE_RULES",
+    "WHOLE_SCHEDULE_RULES",
     "assert_lint_clean",
     "resolve_rules",
     "render_text",

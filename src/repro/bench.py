@@ -46,6 +46,7 @@ __all__ = [
     "bench_all_to_all",
     "bench_kitem_all_to_all",
     "bench_transforms",
+    "bench_implicit_lint",
     "run_bench",
     "write_bench",
 ]
@@ -280,11 +281,62 @@ def bench_transforms(
     }
 
 
+def bench_implicit_lint(
+    P: int,
+    L: int = 4,
+    o: int = 1,
+    g: int = 2,
+    chunk_sends: int | None = None,
+    repeat: int = 1,
+) -> dict[str, Any]:
+    """Chunk-streamed lint of an implicit broadcast plan at ``P`` (PR-6).
+
+    The headline scenario: a P=10^6 plan never materializes its ~10^6
+    send columns, so ``tracemalloc`` peak memory is bounded by the chunk
+    size, not by ``P`` — the perf gate pins both the wall-clock time and
+    the peak-bytes ceiling.
+    """
+    import tracemalloc
+
+    from repro.analyze.chunked import lint_implicit
+    from repro.schedule.implicit import DEFAULT_CHUNK_SENDS
+
+    chunk = chunk_sends or DEFAULT_CHUNK_SENDS
+    params = LogPParams(P=P, L=L, o=o, g=g)
+    build_s, implicit = time_call(
+        lambda: registry.plan("broadcast", params, storage="implicit"), repeat
+    )
+    # warm-up outside the traced window so lazy imports and numpy
+    # first-call internals do not count against the chunk-bounded peak
+    lint_implicit(implicit, max_sends=chunk)
+    tracemalloc.start()
+    lint_s, report = time_call(
+        lambda: lint_implicit(implicit, max_sends=chunk), repeat
+    )
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return {
+        "workload": "implicit-lint",
+        "P": P,
+        "params": [params.P, params.L, params.o, params.g],
+        "sends": report.num_sends,
+        "chunk_sends": chunk,
+        "build_s": build_s,
+        "lint_s": lint_s,
+        "lint_peak_bytes": peak,
+        "lint_errors": sum(
+            report.rule_totals.get(rule, 0) for rule in report.rules_run
+        ),
+        "rules_run": len(report.rules_run),
+    }
+
+
 def run_bench(
     sizes: tuple[int, ...] = (256, 1024, 4096),
     a2a_sizes: tuple[int, ...] = (256, 1024),
     kitem: tuple[int, int] = (256, 4),
     transform_P: int = 1024,
+    implicit_sizes: tuple[int, ...] = (100_000, 1_000_000),
     repeat: int = 1,
     verbose: bool = False,
 ) -> dict[str, Any]:
@@ -299,7 +351,7 @@ def run_bench(
                             "validate_s", "validate_scalar_s",
                             "validate_np_s", "simulate_machine_s",
                             "transform_np_s", "transform_objects_s",
-                            "transform_speedup", "verify_each_s")
+                            "transform_speedup", "verify_each_s", "lint_s")
                 if k in row
             ]
             timings = ", ".join(f"{k}={row[k]:.4f}" for k in keys)
@@ -316,11 +368,13 @@ def run_bench(
         record(bench_all_to_all(P, repeat=repeat))
     record(bench_kitem_all_to_all(*kitem, repeat=repeat))
     record(bench_transforms(transform_P, repeat=repeat))
+    for P in implicit_sizes:
+        record(bench_implicit_lint(P, repeat=repeat))
     import numpy
 
     return {
-        "bench": "PR-5 verified pass-pipeline framework",
-        "baseline": "BENCH_PR4.json",
+        "bench": "PR-6 implicit O(log P) schedules + chunked lint",
+        "baseline": "BENCH_PR5.json",
         "command": "python -m repro.cli bench",
         "python": sys.version.split()[0],
         "numpy": numpy.__version__,

@@ -250,6 +250,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     if args.quick:
         sizes, a2a_sizes, kitem, transform_P = (64, 128), (64,), (64, 2), 128
+        implicit_sizes: tuple[int, ...] = (10_000,)
     else:
         sizes, a2a_sizes, kitem, transform_P = (
             (256, 1024, 4096),
@@ -257,12 +258,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
             (256, 4),
             1024,
         )
-    print(f"running {len(sizes) + len(a2a_sizes) + 2} benchmark scenarios...")
+        implicit_sizes = (100_000, 1_000_000)
+    total = len(sizes) + len(a2a_sizes) + len(implicit_sizes) + 2
+    print(f"running {total} benchmark scenarios...")
     results = run_bench(
         sizes=sizes,
         a2a_sizes=a2a_sizes,
         kitem=kitem,
         transform_P=transform_P,
+        implicit_sizes=implicit_sizes,
         repeat=args.repeat,
         verbose=True,
     )
@@ -303,6 +307,44 @@ def _lint_target(args: argparse.Namespace):
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.analyze import Severity, lint_schedule, render_text, sarif_json
 
+    if args.implicit:
+        from repro.analyze.chunked import WHOLE_SCHEDULE_RULES, lint_implicit
+        from repro.schedule.implicit import DEFAULT_CHUNK_SENDS
+
+        if args.schedule is not None or args.builder is None:
+            return _usage_error(
+                "--implicit lints a closed-form builder plan; give "
+                "--builder NAME (not a schedule file)"
+            )
+        try:
+            spec = registry.get_spec(args.builder)
+            implicit = registry.plan(
+                spec.name,
+                _machine(args),
+                storage="implicit",
+                family=args.family,
+                **_spec_extra(spec, args),
+            )
+            report = lint_implicit(
+                implicit,
+                max_sends=args.chunk_sends or DEFAULT_CHUNK_SENDS,
+                select=args.select or None,
+                ignore=args.ignore or None,
+            )
+        except ValueError as exc:
+            return _usage_error(str(exc))
+        if args.format == "json":
+            print(sarif_json(report))
+        else:
+            print(render_text(report, verbose=args.verbose))
+            skipped = ", ".join(sorted(WHOLE_SCHEDULE_RULES))
+            print(
+                f"note: implicit (chunked) sweep — whole-schedule rules "
+                f"skipped: {skipped}"
+            )
+        if args.fail_on == "never":
+            return 0
+        return 1 if report.at_least(Severity.parse(args.fail_on)) else 0
     try:
         schedule = _lint_target(args)
     except ValueError as exc:
@@ -471,13 +513,35 @@ def build_parser() -> argparse.ArgumentParser:
             f"({', '.join(registry.spec_names())})"
         ),
     )
-    p.add_argument("--P", type=int, default=8, help="processors (builders)")
-    p.add_argument("--L", type=int, default=6, help="latency (builders)")
+    p.add_argument("-P", "--P", type=int, default=8, help="processors (builders)")
+    p.add_argument("-L", "--L", type=int, default=6, help="latency (builders)")
     p.add_argument("--o", type=int, default=0, help="overhead (builders)")
     p.add_argument("--g", type=int, default=1, help="gap (builders)")
     p.add_argument("--k", type=int, default=4, help="items (kitem builder)")
     p.add_argument("--n", type=int, default=32, help="operands (summation builder)")
     p.add_argument("--t", type=int, default=None, help="time budget (summation)")
+    p.add_argument(
+        "--implicit",
+        action="store_true",
+        help=(
+            "lint the builder's closed-form (implicit) plan in streamed "
+            "chunks — memory bounded by --chunk-sends, not P; "
+            "whole-schedule rules are skipped (noted in text output)"
+        ),
+    )
+    p.add_argument(
+        "--chunk-sends",
+        type=int,
+        default=None,
+        metavar="N",
+        help="streamed chunk size for --implicit (default 65536)",
+    )
+    p.add_argument(
+        "--family",
+        choices=("optimal", "binomial"),
+        default="optimal",
+        help="tree family for --implicit plans",
+    )
     p.add_argument(
         "--format",
         choices=("text", "json"),

@@ -102,10 +102,27 @@ class DispatchPolicy:
 
 
 def _policy_from_env() -> DispatchPolicy:
-    threshold = os.environ.get("REPRO_FAST_PATH_THRESHOLD")
+    raw = os.environ.get("REPRO_FAST_PATH_THRESHOLD")
+    if raw is None:
+        threshold = FAST_PATH_THRESHOLD
+    else:
+        # this runs at `import repro` time — a bare int() traceback here
+        # blames the importer, so name the env var and the bad value
+        try:
+            threshold = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_FAST_PATH_THRESHOLD={raw!r} is not an integer "
+                f"(unset it or use a send count >= 0)"
+            ) from None
+        if threshold < 0:
+            raise ValueError(
+                f"REPRO_FAST_PATH_THRESHOLD={raw!r} must be >= 0 "
+                f"(unset it or use a send count >= 0)"
+            )
     return DispatchPolicy(
         mode=os.environ.get("REPRO_DISPATCH", AUTO),
-        threshold=FAST_PATH_THRESHOLD if threshold is None else int(threshold),
+        threshold=threshold,
     )
 
 

@@ -34,10 +34,13 @@ per instance.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, ClassVar, TypeVar
+from typing import TYPE_CHECKING, Any, Callable, ClassVar, TypeVar
 
 from repro import dispatch as _dispatch
 from repro.schedule.ops import Schedule
+
+if TYPE_CHECKING:  # implicit IR is optional at runtime for this module
+    from repro.schedule.implicit import ImplicitSchedule
 
 __all__ = [
     "SchedulePass",
@@ -95,6 +98,21 @@ class SchedulePass:
     def run(self, schedule: Schedule) -> Schedule:
         """Apply the pass; returns a new schedule, never mutates input."""
         raise NotImplementedError
+
+    def run_implicit(self, schedule: "ImplicitSchedule") -> "ImplicitSchedule":
+        """Apply the pass to an implicit schedule as a query rewrite.
+
+        Only passes expressible as O(1) closed-form rewrites override
+        this (``shift``, ``remap``); anything else would have to expand
+        the plan to O(num_sends) columns, which defeats the implicit IR,
+        so the default refuses loudly instead of materializing behind
+        the caller's back.
+        """
+        raise TypeError(
+            f"pass {self.name!r} would materialize an implicit schedule; "
+            f"run it on schedule.materialize() if O(num_sends) memory is "
+            f"acceptable"
+        )
 
     def __repr__(self) -> str:
         backend = f", backend={self.backend!r}" if self.backend else ""

@@ -28,6 +28,7 @@ from repro.schedule.columnar import ItemTable, sort_order
 from repro.schedule.ops import Schedule
 
 __all__ = [
+    "SHIFT_BEFORE_ZERO",
     "merge_source_items",
     "shift_columns",
     "remap_columns",
@@ -40,6 +41,13 @@ __all__ = [
 ]
 
 Item = Hashable
+
+#: Shared shift-guard message.  Both backends raise it at transform time
+#: (the objects oracle imports it; ``repro.schedule.implicit`` keeps a
+#: textually identical copy, pinned equal by the test suite) so a
+#: negative-time schedule can never silently materialize and only fail
+#: later at lint time.
+SHIFT_BEFORE_ZERO = "shift would move a send or item creation before cycle 0"
 
 
 def merge_source_items(
@@ -71,8 +79,11 @@ def _copy_initial(schedule: Schedule) -> dict[int, set[Item]]:
 def shift_columns(schedule: Schedule, offset: int) -> Schedule:
     """Columnar :func:`repro.schedule.transform.shift`."""
     cols = schedule.columns()
-    if len(cols) and int(cols.times.min()) + offset < 0:
-        raise ValueError("shift would move a send before cycle 0")
+    floor = list(schedule.source_items.values())
+    if len(cols):
+        floor.append(int(cols.times.min()))
+    if floor and min(floor) + offset < 0:
+        raise ValueError(SHIFT_BEFORE_ZERO)
     return Schedule.from_arrays(
         schedule.params,
         cols.times + offset,
@@ -165,7 +176,7 @@ def concat_columns(first: Schedule, second: Schedule) -> Schedule:
     finish = int(c1.arrivals.max()) if len(c1) else 0
     offset = finish + max(params.g, params.o)
     if len(c2) and int(c2.times.min()) + offset < 0:
-        raise ValueError("shift would move a send before cycle 0")
+        raise ValueError(SHIFT_BEFORE_ZERO)
     table = c1.table.copy()
     code_map = table.encode(c2.table.items, count=len(c2.table))
     initial = _copy_initial(first)

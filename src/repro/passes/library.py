@@ -28,6 +28,7 @@ from typing import Any, Callable, ClassVar, Hashable, Iterable, Mapping
 
 from repro.passes import kernels
 from repro.passes.base import SchedulePass, register_pass
+from repro.schedule.implicit import ImplicitSchedule
 from repro.schedule.ops import Schedule, SendOp
 
 __all__ = [
@@ -72,6 +73,9 @@ class ShiftPass(SchedulePass):
             return kernels.shift_columns(schedule, self.offset)
         return _oracle().shift_objects(schedule, self.offset)
 
+    def run_implicit(self, schedule: ImplicitSchedule) -> ImplicitSchedule:
+        return schedule.shifted(self.offset)
+
 
 @register_pass
 class RemapPass(SchedulePass):
@@ -104,7 +108,9 @@ class RemapPass(SchedulePass):
             return {"perm": self.perm}
         return {}
 
-    def _mapping_for(self, schedule: Schedule) -> dict[int, int]:
+    def _mapping_for(
+        self, schedule: Schedule | ImplicitSchedule
+    ) -> dict[int, int]:
         if self.mapping is not None:
             return self.mapping
         top = schedule.params.P - 1
@@ -115,6 +121,9 @@ class RemapPass(SchedulePass):
         if self._use_numpy(schedule):
             return kernels.remap_columns(schedule, mapping)
         return _oracle().remap_objects(schedule, mapping)
+
+    def run_implicit(self, schedule: ImplicitSchedule) -> ImplicitSchedule:
+        return schedule.remapped(self._mapping_for(schedule))
 
 
 @register_pass

@@ -112,6 +112,14 @@ class PassManager:
 
     def run(self, schedule: Schedule) -> Schedule:
         """Apply every pass in order; returns the final schedule."""
+        from repro.schedule.implicit import ImplicitSchedule
+
+        if isinstance(schedule, ImplicitSchedule):
+            raise TypeError(
+                "PassManager verifies materialized schedules; apply "
+                "shift/remap to an implicit plan via pass.run_implicit() "
+                "or materialize() it first"
+            )
         self.records = []
         baseline: set[str] = set()
         if self.verify != "off":

@@ -24,13 +24,16 @@ figure scripts and SCHED008's closed-form optimality bounds
 
 from __future__ import annotations
 
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro import dispatch as _dispatch
 from repro.params import LogPParams
 from repro.registry.spec import BoundQuery, CollectiveSpec, ParamField
 from repro.registry.specs import SPECS
 from repro.schedule.ops import Schedule
+
+if TYPE_CHECKING:
+    from repro.schedule.implicit import ImplicitSchedule
 
 __all__ = [
     "BoundQuery",
@@ -105,8 +108,9 @@ def plan(
     params: LogPParams | None = None,
     *,
     backend: str | None = None,
+    storage: str = "materialized",
     **kwargs: Any,
-) -> Schedule:
+) -> Schedule | ImplicitSchedule:
     """Build the named collective's schedule.
 
     Machine parameters come either as ``params=LogPParams(...)`` or as
@@ -115,6 +119,13 @@ def plan(
     against the spec's declared domain.  ``backend`` pins the storage
     backend (``"columnar"``/``"objects"``) for builders that support
     both; the default follows the :mod:`repro.dispatch` policy.
+
+    ``storage="implicit"`` returns an O(log P)-state
+    :class:`~repro.schedule.implicit.ImplicitSchedule` instead of
+    materialized columns, for specs with a closed-form builder
+    (broadcast and reduction); an optional ``family=`` keyword selects
+    the tree family (``"optimal"``/``"binomial"``).  ``backend`` does
+    not apply — implicit plans have no column storage to pick.
     """
     spec = get_spec(name)
     if params is None:
@@ -124,8 +135,32 @@ def plan(
             f"{spec.name}: give either params=LogPParams(...) or "
             f"P=/L= keywords, not both"
         )
+    if storage not in ("materialized", "implicit"):
+        raise ValueError(
+            f"{spec.name}: storage must be 'materialized' or 'implicit', "
+            f"got {storage!r}"
+        )
     if spec.check_machine is not None:
         spec.check_machine(params)
+    if storage == "implicit":
+        if spec.implicit_build is None:
+            supported = ", ".join(
+                s.name for s in SPECS if s.implicit_build is not None
+            )
+            raise ValueError(
+                f"{spec.name}: no implicit builder "
+                f"(storage='implicit' is supported by: {supported})"
+            )
+        if backend is not None:
+            raise ValueError(
+                f"{spec.name}: backend= does not apply to implicit "
+                f"storage (implicit plans have no column backend)"
+            )
+        family = kwargs.pop("family", None)
+        extra = spec.validate_extra(params, kwargs)
+        if family is not None:
+            extra["family"] = family
+        return spec.implicit_build(params, **extra)
     extra = spec.validate_extra(params, kwargs)
     if len(spec.backends) > 1:
         extra["backend"] = _dispatch.builder_backend(

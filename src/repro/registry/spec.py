@@ -73,6 +73,10 @@ class CollectiveSpec:
     paper: str  # paper section / figure reference
     theorem: str  # optimality theorem tag
     build: Callable[..., Schedule]  # build(params, **extra[, backend=...])
+    #: Optional O(log P)-state builder returning a
+    #: ``repro.schedule.implicit.ImplicitSchedule`` (typed ``Any`` to keep
+    #: this module import-light); reached via ``plan(storage="implicit")``.
+    implicit_build: Callable[..., Any] | None = None
     extra_params: tuple[ParamField, ...] = ()
     check_machine: Callable[[LogPParams], None] | None = None
     normalize_extra: (

@@ -42,6 +42,7 @@ from repro.core.summation.capacity import min_summation_time, operand_distributi
 from repro.core.summation.schedule import summation_schedule
 from repro.params import LogPParams
 from repro.registry.spec import BoundQuery, CollectiveSpec, ParamField
+from repro.schedule.implicit import implicit_broadcast, implicit_reduction
 from repro.schedule.ops import Schedule
 
 __all__ = ["SPECS"]
@@ -265,6 +266,7 @@ SPECS: tuple[CollectiveSpec, ...] = (
         paper="Section 2, Figure 1",
         theorem="Thm 2.1",
         build=_build_broadcast,
+        implicit_build=implicit_broadcast,
         check_machine=lambda p: _require_processors("broadcast", p, 1),
         lower_bound=lambda params: broadcast_time(params.P, params),
         tight=_always,
@@ -389,6 +391,7 @@ SPECS: tuple[CollectiveSpec, ...] = (
         paper="Section 4.2 / 5",
         theorem="Thm 2.1 (reversal)",
         build=_build_reduction,
+        implicit_build=implicit_reduction,
         check_machine=lambda p: _require_processors("reduction", p, 1),
         lower_bound=lambda params: broadcast_time(params.P, params),
         tight=_always,

@@ -77,6 +77,13 @@ class ItemTable:
         )
 
     def decode(self, code: int) -> Item:
+        # plain list indexing would silently wrap negative codes to the
+        # *wrong item* — corrupted columns must fail, not misdecode
+        if not 0 <= code < len(self._items):
+            raise IndexError(
+                f"item code {code} out of range for table of "
+                f"{len(self._items)} item(s)"
+            )
         return self._items[code]
 
     __getitem__ = decode

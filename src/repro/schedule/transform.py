@@ -33,7 +33,7 @@ from __future__ import annotations
 import bisect
 from typing import Callable, Hashable, Iterable, Mapping
 
-from repro.passes.kernels import merge_source_items
+from repro.passes.kernels import SHIFT_BEFORE_ZERO, merge_source_items
 from repro.passes.library import (
     ConcatPass,
     RemapPass,
@@ -52,7 +52,9 @@ Item = Hashable
 def shift(schedule: Schedule, offset: int, backend: str | None = None) -> Schedule:
     """Translate every send (and source-item creation) by ``offset``.
 
-    ``offset`` may be negative as long as no send starts before cycle 0.
+    ``offset`` may be negative as long as no send *or item creation*
+    would land before cycle 0 (both backends raise the same
+    ``ValueError`` at transform time).
     """
     return ShiftPass(offset, backend=backend).run(schedule)
 
@@ -118,8 +120,11 @@ def restrict(
 
 def shift_objects(schedule: Schedule, offset: int) -> Schedule:
     """Objects oracle for :func:`shift`."""
-    if schedule.sends and min(op.time for op in schedule.sends) + offset < 0:
-        raise ValueError("shift would move a send before cycle 0")
+    floor = list(schedule.source_items.values())
+    if schedule.sends:
+        floor.append(min(op.time for op in schedule.sends))
+    if floor and min(floor) + offset < 0:
+        raise ValueError(SHIFT_BEFORE_ZERO)
     return Schedule(
         params=schedule.params,
         sends=[

@@ -24,9 +24,10 @@ from repro.schedule.analysis_np import (
     availability_arrays,
     columns,
 )
+from repro.schedule.implicit import DEFAULT_CHUNK_SENDS, ImplicitSchedule
 from repro.schedule.ops import Schedule
 
-__all__ = ["violations_np"]
+__all__ = ["violations_np", "violations_np_implicit"]
 
 
 def _causality(
@@ -179,4 +180,69 @@ def violations_np(schedule: Schedule, check_capacity: bool = True) -> list[str]:
                     f"{direction} proc {proc}"
                 )
 
+    return problems
+
+
+def violations_np_implicit(
+    implicit: ImplicitSchedule, max_sends: int = DEFAULT_CHUNK_SENDS
+) -> list[str]:
+    """Chunk-streamed legality checks for an implicit plan.
+
+    Runs, in memory bounded by ``max_sends`` and never by ``P``:
+
+    * **causality** (exact): each edge's send time against the sender's
+      closed-form hold time (``ChunkFacts.send_avail``), plus self-sends
+      — same strings as :func:`violations_np`;
+    * **send gap / receive gap** (chunk-local): adjacency within each
+      streamed block.  Every report is a genuine violation (two
+      same-endpoint events < ``g`` apart stay < ``g`` apart globally),
+      but a pair split across a chunk boundary is not seen — this check
+      is *sound, not complete*.
+
+    Overhead exclusivity and capacity need globally sorted busy
+    intervals, so they are whole-schedule only: run
+    ``violations_np(implicit.materialize())`` when full fidelity
+    matters (the property suite does, at small P).
+    """
+    params = implicit.params
+    problems: list[str] = []
+    if max_sends < 1:
+        raise ValueError(f"max_sends must be >= 1, got {max_sends}")
+    for lo in range(0, implicit.num_sends, max_sends):
+        hi = min(lo + max_sends, implicit.num_sends)
+        facts = implicit.chunk_with_facts(lo, hi)
+        cols = facts.cols
+        early = cols.times < facts.send_avail
+        selfsend = cols.srcs == cols.dsts
+        if early.any() or selfsend.any():
+            order = np.lexsort((cols.dsts, cols.srcs, cols.times))
+            flagged = order[(early | selfsend)[order]]
+            for i in flagged.tolist():
+                t, src = int(cols.times[i]), int(cols.srcs[i])
+                item = cols.table.items[int(cols.items[i])]
+                if early[i]:
+                    problems.append(
+                        f"causality: proc {src} sends item {item!r} at t={t} "
+                        f"but only holds it from t={int(facts.send_avail[i])}"
+                    )
+                if selfsend[i]:
+                    problems.append(f"self-send: proc {src} at t={t}")
+        _adjacent_gap(
+            cols.srcs,
+            cols.times,
+            cols.dsts,
+            params.g,
+            "send gap: proc {proc} sends at t={prev} and t={cur} "
+            f"(< g={params.g} apart)",
+            problems,
+        )
+        _adjacent_gap(
+            cols.dsts,
+            cols.arrivals - params.o,
+            cols.srcs,
+            params.g,
+            "receive gap: proc {proc} receives at t={prev} and t={cur} "
+            f"(< g={params.g} apart)",
+            problems,
+        )
     return problems

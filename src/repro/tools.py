@@ -47,6 +47,7 @@ MODULES = [
     "repro.schedule.analysis_np",
     "repro.schedule.transform",
     "repro.schedule.serialize",
+    "repro.schedule.implicit",
     "repro.passes",
     "repro.passes.base",
     "repro.passes.kernels",
@@ -62,6 +63,7 @@ MODULES = [
     "repro.analyze.context",
     "repro.analyze.rules",
     "repro.analyze.engine",
+    "repro.analyze.chunked",
     "repro.analyze.report",
     "repro.baselines.trees",
     "repro.baselines.kitem",

@@ -296,6 +296,35 @@ class TestDispatchThreshold:
         )
         assert out.stdout.strip() == "numpy"
 
+    @pytest.mark.parametrize("raw", ["abc", "", "-1"])
+    def test_bad_env_threshold_is_a_one_line_config_error(
+        self, monkeypatch, raw
+    ):
+        # this path runs at `import repro` time; a bare int() ValueError
+        # would blame the importer instead of the configuration
+        from repro import dispatch
+
+        monkeypatch.setenv("REPRO_FAST_PATH_THRESHOLD", raw)
+        with pytest.raises(ValueError) as excinfo:
+            dispatch._policy_from_env()
+        message = str(excinfo.value)
+        assert "REPRO_FAST_PATH_THRESHOLD" in message
+        assert repr(raw) in message
+        assert "\n" not in message
+
+    def test_bad_env_threshold_import_crash_names_the_variable(self):
+        code = "import repro"
+        env = dict(os.environ, REPRO_FAST_PATH_THRESHOLD="abc", PYTHONPATH="src")
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        assert out.returncode != 0
+        assert "REPRO_FAST_PATH_THRESHOLD='abc'" in out.stderr
+
     def test_dispatch_reads_policy_dynamically(self, monkeypatch):
         from repro import dispatch
         from repro.sim import validate, validate_np

@@ -59,6 +59,18 @@ class TestItemTable:
         assert len(table) == 1
         assert len(clone) == 2
 
+    def test_corrupt_codes_raise_index_error(self):
+        # corrupted/foreign columns used to wrap around via Python's
+        # negative indexing (-1 silently decoded to the *last* item)
+        table = ItemTable(["a", "b", "c"])
+        for bad in (-1, -3, 3, 10):
+            with pytest.raises(IndexError, match="out of range"):
+                table.decode(bad)
+            with pytest.raises(IndexError, match="out of range"):
+                table[bad]
+        with pytest.raises(IndexError, match=r"table of 0 item"):
+            ItemTable().decode(0)
+
 
 class TestArraysToColumns:
     def test_shape_mismatch_rejected(self):

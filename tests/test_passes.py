@@ -325,6 +325,44 @@ class TestBackendTwins:
         assert schedule_to_json(fast) == schedule_to_json(slow)
 
     @SETTINGS
+    @given(sched=builder_schedules(), offset=st.integers(-60, 5))
+    def test_shift_offset_agrees_across_backends(self, sched, offset):
+        # negative offsets included: both backends must either raise the
+        # same ValueError at transform time or agree byte-for-byte —
+        # the columnar path may not silently emit negative-time columns
+        outcomes = []
+        for backend in ("numpy", "objects"):
+            try:
+                out = make_pass("shift", offset=offset, backend=backend).run(
+                    sched
+                )
+                outcomes.append(("ok", schedule_to_json(out)))
+            except ValueError as exc:
+                outcomes.append(("raise", str(exc)))
+        assert outcomes[0] == outcomes[1]
+
+    def test_shift_guard_covers_item_creations(self):
+        # creations can predate the earliest send; the guard must see them
+        sched = Schedule(
+            params=FIG1,
+            sends=[SendOp(time=5, src=0, dst=1, item="x")],
+            initial={0: {"x"}},
+            source_items={"x": 2},
+        )
+        for backend in ("numpy", "objects"):
+            assert shift(sched, -2, backend=backend).source_items == {"x": 0}
+            with pytest.raises(
+                ValueError, match="send or item creation before cycle 0"
+            ):
+                shift(sched, -3, backend=backend)
+
+    def test_shift_guard_message_shared_with_implicit_ir(self):
+        from repro.passes.kernels import SHIFT_BEFORE_ZERO
+        from repro.schedule import implicit
+
+        assert implicit._SHIFT_ERROR == SHIFT_BEFORE_ZERO
+
+    @SETTINGS
     @given(sched=builder_schedules())
     def test_numpy_path_never_materializes_sendops(self, sched):
         arrayed = run_pipeline("canonicalize", sched, backend="numpy")

@@ -47,10 +47,12 @@ from pathlib import Path
 HOT_MODULES = [
     "src/repro/schedule/columnar.py",
     "src/repro/schedule/analysis_np.py",
+    "src/repro/schedule/implicit.py",
     "src/repro/sim/validate_np.py",
     "src/repro/analyze/context.py",
     "src/repro/analyze/rules.py",
     "src/repro/analyze/engine.py",
+    "src/repro/analyze/chunked.py",
 ]
 
 #: Whole packages that must stay free of per-send Python loops.  The
