@@ -192,3 +192,43 @@ def test_recorded_bench_implicit_gate():
     assert row["lint_errors"] == 0
     assert row["lint_peak_bytes"] < 32 * 2**20
     assert row["lint_s"] < 5.0
+
+
+def test_serve_hot_cache_speedup():
+    """PR-7 acceptance: the plan service's hot path (bounded LRU over
+    the content-addressed cache) must serve a Zipf request mix at least
+    20x faster than cold planning, at a >= 90% hit rate, under real
+    eviction pressure (capacity < population)."""
+    from repro.bench import bench_serve
+
+    row = bench_serve()
+    assert row["capacity"] < row["points"], "no eviction pressure"
+    assert row["hot_hit_rate"] >= 0.90, (
+        f"hit rate {row['hot_hit_rate']:.3f} under the 90% floor "
+        f"(capacity {row['capacity']} over {row['points']} points)"
+    )
+    assert row["hot_speedup"] >= 20.0, (
+        f"hot path only {row['hot_speedup']:.1f}x over cold planning "
+        f"({row['hot_plans_per_s']:.0f}/s vs {row['cold_plans_per_s']:.0f}/s); "
+        f"acceptance floor is 20x"
+    )
+    # the batched path dedups before planning, so it may not be slower
+    # than the one-at-a-time hot path by more than bookkeeping overhead
+    assert row["batch_plans_per_s"] >= row["hot_plans_per_s"] / 3
+
+
+def test_recorded_bench_serve_gate():
+    """The committed BENCH_PR7.json must record the headline serve
+    load-gen numbers so regressions show up in review, not just
+    nightly CI."""
+    import json
+
+    path = Path(__file__).resolve().parent.parent / "BENCH_PR7.json"
+    doc = json.loads(path.read_text())
+    rows = [r for r in doc["scenarios"] if r["workload"] == "serve"]
+    assert rows, "BENCH_PR7.json has no serve row"
+    row = rows[0]
+    assert row["points"] >= 2000, "load-gen mix must cover thousands of points"
+    assert row["hot_hit_rate"] >= 0.90
+    assert row["hot_speedup"] >= 20.0
+    assert row["hot_plans_per_s"] >= 20.0 * row["cold_plans_per_s"]

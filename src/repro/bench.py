@@ -17,19 +17,26 @@ backends as *bytes per send*: exact for the four ``int64`` columns,
 a shallow ``sys.getsizeof`` estimate (list slot + ``SendOp`` instance;
 shared item payloads excluded) for the object path.
 
+PR 7 adds the ``serve`` scenario: a Zipf load generator over the plan
+service (:mod:`repro.serve`) measuring cold vs hot plans/sec and the
+cache hit rate under real LRU eviction pressure.
+
 Run via ``python -m repro.cli bench`` (or ``make bench``), which writes
-``BENCH.json`` by default (the checked-in ``BENCH_PR1.json`` /
-``BENCH_PR2.json`` are kept as per-PR reference baselines);
-``benchmarks/test_perf_regression.py`` asserts the headline speedups so
-they cannot silently regress.
+``BENCH.json`` by default (the checked-in ``BENCH_PR<N>.json`` files
+are per-PR reference baselines; :func:`latest_baseline` picks the
+newest as the comparison point so the recorded gates never trail the
+repo); ``benchmarks/test_perf_regression.py`` asserts the headline
+speedups so they cannot silently regress.
 """
 
 from __future__ import annotations
 
 import json
 import platform
+import re
 import sys
 import time
+from pathlib import Path
 from typing import Any, Callable
 
 from repro import registry
@@ -42,14 +49,40 @@ from repro.sim.validate_np import violations_np
 
 __all__ = [
     "time_call",
+    "latest_baseline",
     "bench_broadcast",
     "bench_all_to_all",
     "bench_kitem_all_to_all",
     "bench_transforms",
     "bench_implicit_lint",
+    "serve_request_points",
+    "bench_serve",
     "run_bench",
     "write_bench",
 ]
+
+
+def latest_baseline(root: Path | None = None) -> str | None:
+    """The newest checked-in ``BENCH_PR<N>.json``, by numeric ``N``.
+
+    The results document names this file as its comparison baseline;
+    auto-detection replaces the hardcoded name that silently went stale
+    whenever a PR landed a new reference file.  ``root`` defaults to the
+    current directory (where ``repro.cli bench`` runs) with the
+    repository root as fallback for checkouts driven from elsewhere.
+    """
+    candidates = [Path.cwd()] if root is None else [Path(root)]
+    if root is None:
+        candidates.append(Path(__file__).resolve().parents[2])
+    for directory in candidates:
+        best: tuple[int, str] | None = None
+        for path in directory.glob("BENCH_PR*.json"):
+            match = re.fullmatch(r"BENCH_PR(\d+)\.json", path.name)
+            if match and (best is None or int(match.group(1)) > best[0]):
+                best = (int(match.group(1)), path.name)
+        if best is not None:
+            return best[1]
+    return None
 
 
 def time_call(fn: Callable[[], Any], repeat: int = 1) -> tuple[float, Any]:
@@ -331,12 +364,126 @@ def bench_implicit_lint(
     }
 
 
+def serve_request_points(limit: int | None = None) -> list[dict[str, Any]]:
+    """The serve bench's request population: recurring (collective,
+    machine) points across six collectives — the workload shape the
+    cache is built for (a service sees a few thousand distinct points,
+    most traffic concentrated on a few).  Deterministic; ``limit``
+    truncates for quick runs.
+    """
+    machines = ((4, 1, 2), (6, 2, 4), (3, 0, 1))
+    points: list[dict[str, Any]] = []
+    for L, o, g in machines:
+        for P in range(2, 514):
+            points.append(
+                {"collective": "broadcast", "P": P, "L": L, "o": o, "g": g}
+            )
+        for P in range(2, 130):
+            points.append(
+                {"collective": "reduction", "P": P, "L": L, "o": o, "g": g}
+            )
+    for P in range(2, 34):
+        points.append({"collective": "all-to-all", "P": P, "L": 4})
+    for P in (4, 8, 16):
+        for n in (16, 32, 64, 79, 128):
+            points.append(
+                {"collective": "summation", "P": P, "L": 5, "o": 2, "g": 4, "n": n}
+            )
+    for P in (5, 10, 15):
+        for k in (2, 4, 8):
+            points.append({"collective": "kitem", "P": P, "L": 3, "k": k})
+    for P in range(3, 30):
+        for L in (2, 3, 4):
+            points.append({"collective": "allreduce", "P": P, "L": L})
+    return points[:limit] if limit is not None else points
+
+
+def bench_serve(
+    points: int | None = None,
+    draws: int = 16_000,
+    capacity: int = 1024,
+    zipf_s: float = 1.4,
+    seed: int = 7,
+) -> dict[str, Any]:
+    """Load-generator scenario for the PR-7 plan service.
+
+    Three phases over the same request population:
+
+    * **cold** — a fresh :class:`~repro.serve.PlanService` plans every
+      distinct point once (all misses; the planner is the bottleneck);
+    * **hot** — ``draws`` requests Zipf-distributed over the population
+      (exponent ``zipf_s``, rank order shuffled so popularity is not
+      correlated with plan size) against the warm bounded LRU;
+    * **batch** — one ``plan_many`` call over the same drawn mix,
+      measuring the dedup-before-plan path.
+
+    The acceptance gate holds ``hot_plans_per_s >= 20x
+    cold_plans_per_s`` at a ``>= 90%`` hit rate — planning must be the
+    cold path's cost, and the cache must actually absorb a skewed mix
+    under real eviction pressure (capacity < population).
+    """
+    import random
+
+    from repro.serve import PlanService
+
+    population = serve_request_points(points)
+    rng = random.Random(seed)
+    order = list(range(len(population)))
+    rng.shuffle(order)
+    weights = [1.0 / (rank + 1) ** zipf_s for rank in range(len(order))]
+    drawn = [population[i] for i in rng.choices(order, weights=weights, k=draws)]
+
+    cold_service = PlanService(capacity=capacity)
+    cold_s, _ = time_call(
+        lambda: [cold_service.plan_json(p) for p in population]
+    )
+    assert cold_service.planned == len(population)
+
+    hot_service = PlanService(capacity=capacity)
+    for p in drawn[: min(draws, 4 * capacity)]:
+        hot_service.plan_json(p)  # warm the LRU with the mix's head
+    warm_planned = hot_service.planned
+    warm_requests = hot_service.requests
+    hot_s, _ = time_call(lambda: [hot_service.plan_json(p) for p in drawn])
+    hot_requests = hot_service.requests - warm_requests
+    hot_misses = hot_service.planned - warm_planned
+    hit_rate = 1.0 - hot_misses / hot_requests
+
+    batch_s, batch_result = time_call(
+        lambda: hot_service.plan_many_json(drawn)
+    )
+    assert len(batch_result) == draws
+
+    cold_rate = len(population) / cold_s if cold_s > 0 else float("inf")
+    hot_rate = draws / hot_s if hot_s > 0 else float("inf")
+    return {
+        "workload": "serve",
+        "P": max(p["P"] for p in population),
+        "points": len(population),
+        "draws": draws,
+        "capacity": capacity,
+        "zipf_s": zipf_s,
+        "sends": draws,  # requests served in the hot phase
+        "cold_s": cold_s,
+        "cold_plans_per_s": cold_rate,
+        "hot_s": hot_s,
+        "hot_plans_per_s": hot_rate,
+        "hot_hit_rate": hit_rate,
+        "hot_speedup": hot_rate / cold_rate,
+        "batch_s": batch_s,
+        "batch_plans_per_s": draws / batch_s if batch_s > 0 else float("inf"),
+        "memory_stats": hot_service.stats()["memory"],
+    }
+
+
 def run_bench(
     sizes: tuple[int, ...] = (256, 1024, 4096),
     a2a_sizes: tuple[int, ...] = (256, 1024),
     kitem: tuple[int, int] = (256, 4),
     transform_P: int = 1024,
     implicit_sizes: tuple[int, ...] = (100_000, 1_000_000),
+    serve_points: int | None = None,
+    serve_draws: int = 16_000,
     repeat: int = 1,
     verbose: bool = False,
 ) -> dict[str, Any]:
@@ -351,7 +498,9 @@ def run_bench(
                             "validate_s", "validate_scalar_s",
                             "validate_np_s", "simulate_machine_s",
                             "transform_np_s", "transform_objects_s",
-                            "transform_speedup", "verify_each_s", "lint_s")
+                            "transform_speedup", "verify_each_s", "lint_s",
+                            "cold_plans_per_s", "hot_plans_per_s",
+                            "hot_hit_rate", "hot_speedup")
                 if k in row
             ]
             timings = ", ".join(f"{k}={row[k]:.4f}" for k in keys)
@@ -370,11 +519,12 @@ def run_bench(
     record(bench_transforms(transform_P, repeat=repeat))
     for P in implicit_sizes:
         record(bench_implicit_lint(P, repeat=repeat))
+    record(bench_serve(points=serve_points, draws=serve_draws))
     import numpy
 
     return {
-        "bench": "PR-6 implicit O(log P) schedules + chunked lint",
-        "baseline": "BENCH_PR5.json",
+        "bench": "PR-7 content-addressed plan cache + batched plan service",
+        "baseline": latest_baseline(),
         "command": "python -m repro.cli bench",
         "python": sys.version.split()[0],
         "numpy": numpy.__version__,

@@ -11,6 +11,7 @@ Usage::
     python -m repro.cli figures    [--only 1 2 ...]
     python -m repro.cli sweeps
     python -m repro.cli bench      [--out BENCH.json] [--repeat N] [--quick]
+    python -m repro.cli serve      [--port 8040] [--capacity N] [--cache-dir DIR]
     python -m repro.cli lint       <schedule.json> [--format text|json]
     python -m repro.cli lint       --builder bcast --P 8 --L 6 --o 2 --g 4
     python -m repro.cli opt        <schedule.json> --pipeline "shift{offset=5}"
@@ -251,6 +252,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if args.quick:
         sizes, a2a_sizes, kitem, transform_P = (64, 128), (64,), (64, 2), 128
         implicit_sizes: tuple[int, ...] = (10_000,)
+        serve_points: int | None = 200
+        serve_draws = 3_000
     else:
         sizes, a2a_sizes, kitem, transform_P = (
             (256, 1024, 4096),
@@ -259,7 +262,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
             1024,
         )
         implicit_sizes = (100_000, 1_000_000)
-    total = len(sizes) + len(a2a_sizes) + len(implicit_sizes) + 2
+        serve_points = None
+        serve_draws = 16_000
+    total = len(sizes) + len(a2a_sizes) + len(implicit_sizes) + 3
     print(f"running {total} benchmark scenarios...")
     results = run_bench(
         sizes=sizes,
@@ -267,11 +272,51 @@ def cmd_bench(args: argparse.Namespace) -> int:
         kitem=kitem,
         transform_P=transform_P,
         implicit_sizes=implicit_sizes,
+        serve_points=serve_points,
+        serve_draws=serve_draws,
         repeat=args.repeat,
         verbose=True,
     )
     write_bench(results, args.out)
     print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the plan service's HTTP front end until interrupted."""
+    from repro.serve import PlanService, serve_http
+
+    try:
+        service = PlanService(
+            capacity=args.capacity, directory=args.cache_dir
+        )
+        server = serve_http(
+            host=args.host, port=args.port, service=service,
+            verbose=args.verbose,
+        )
+    except (OSError, ValueError) as exc:
+        return _usage_error(str(exc))
+    host, port = server.server_address[:2]
+    tiers = f"memory lru capacity={args.capacity}"
+    if args.cache_dir:
+        tiers += f", disk tier at {args.cache_dir}"
+    print(
+        f"repro serve: listening on http://{host}:{port} "
+        f"(POST /plan, POST /plan_many, GET /stats; {tiers})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    stats = service.stats()
+    print(
+        f"repro serve: shut down after {stats['requests']} requests "
+        f"({stats['planned']} planned, "
+        f"{stats['memory']['hits']} memory hits)"
+    )
     return 0
 
 
@@ -496,6 +541,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repeat", type=int, default=1, help="best-of repetitions")
     p.add_argument("--quick", action="store_true", help="small sizes (smoke test)")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "serve", help="HTTP plan service (cached, batched planning)"
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port", type=int, default=8040, help="bind port (0 = ephemeral)"
+    )
+    p.add_argument(
+        "--capacity",
+        type=int,
+        default=1024,
+        help="in-memory LRU capacity (plans)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="enable the on-disk cache tier under DIR",
+    )
+    p.add_argument(
+        "--verbose", action="store_true", help="log each HTTP request"
+    )
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("lint", help="static rule sweep over a schedule")
     p.add_argument(

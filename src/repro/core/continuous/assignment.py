@@ -233,7 +233,11 @@ def min_base_t(L: int) -> int:
     return 2 * L - 2
 
 
-@lru_cache(maxsize=None)
+# Bounded since PR 7 (keyed by (L, search_limit); the paper verifies
+# L <= 10, so 64 entries is effectively unlimited while keeping a
+# long-running server's memo tables capped).
+# Exposed via repro.serve's /stats endpoint (core_cache_stats).
+@lru_cache(maxsize=64)
 def find_base_cases(L: int, search_limit: int = 60) -> tuple[int, ...]:
     """Find the paper's ``t(L)``: the start of ``L`` consecutive values of
     ``t`` whose instances admit normal-form solutions.
@@ -254,7 +258,12 @@ def find_base_cases(L: int, search_limit: int = 60) -> tuple[int, ...]:
     raise RuntimeError(f"no {L} consecutive base cases found for L={L} below t={search_limit}")
 
 
-@lru_cache(maxsize=None)
+# Bounded since PR 7: the induction recurses on (t-1, t-L), so entries
+# grow with the largest t ever requested; 4096 holds every t the serve
+# bench and the continuous sweeps reach, and an evicted prefix is
+# recomputed from the base cases (slower, still exact).
+# Exposed via repro.serve's /stats endpoint (core_cache_stats).
+@lru_cache(maxsize=4096)
 def _solve_cached(t: int, L: int) -> BlockCyclicAssignment | None:
     base_ts = find_base_cases(L)
     if t < base_ts[0]:

@@ -156,7 +156,12 @@ def broadcast_time(P: int, params: LogPParams) -> int:
     return d
 
 
-@lru_cache(maxsize=None)
+# Bounded since PR 7: the serve bench's full Zipf mix touches well under
+# a hundred distinct (L, upto) pairs, so 1024 entries never evicts on
+# realistic traffic while capping a long-running server's memo growth
+# (entries are O(upto) tuples, so the worst case mattered).
+# Exposed via repro.serve's /stats endpoint (core_cache_stats).
+@lru_cache(maxsize=1024)
 def _prefix_sums(L: int, upto: int) -> tuple[int, ...]:
     seq = fib_sequence(L, upto)
     sums = []

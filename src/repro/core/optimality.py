@@ -51,7 +51,11 @@ def max_informed_dp(t: int, L: int) -> int:
     if t < 0:
         raise ValueError(f"t must be >= 0, got {t}")
 
-    @lru_cache(maxsize=None)
+    # Bounded since PR 7 so a pathological (t, L) cannot pin unbounded
+    # memory for the call's duration: full-history states are visited
+    # once each, so eviction costs recomputation, never correctness, and
+    # the bench's certified range (t <= 30) stays far below the cap.
+    @lru_cache(maxsize=1 << 16)
     def best(step: int, history: tuple[int, ...]) -> int:
         # history[i] = sends issued at step i; informed at `step` counts
         # the source plus every arrival at steps <= step

@@ -109,6 +109,7 @@ def plan(
     *,
     backend: str | None = None,
     storage: str = "materialized",
+    cache: Any | None = None,
     **kwargs: Any,
 ) -> Schedule | ImplicitSchedule:
     """Build the named collective's schedule.
@@ -126,8 +127,35 @@ def plan(
     (broadcast and reduction); an optional ``family=`` keyword selects
     the tree family (``"optimal"``/``"binomial"``).  ``backend`` does
     not apply — implicit plans have no column storage to pick.
+
+    ``cache=`` routes the request through a
+    :class:`~repro.serve.PlanService` (the content-addressed plan
+    cache): hits deserialize the cached canonical plan JSON instead of
+    rebuilding.  Cached plans round-trip through serialization, so they
+    come back object-stored with redundant time-0 ``source_items``
+    normalized away — byte-identical canonical JSON, not identical
+    Python object graphs.  ``backend=`` (a compute hint, deliberately
+    outside the cache key) and ``storage="implicit"`` (an O(log P)
+    build, cheaper than any lookup) are rejected alongside ``cache=``.
     """
     spec = get_spec(name)
+    if cache is not None:
+        if storage == "implicit":
+            raise ValueError(
+                f"{spec.name}: cache= does not apply to storage='implicit' "
+                f"(implicit plans are O(log P) to build; the serve layer "
+                f"caches their materialized form instead)"
+            )
+        if backend is not None:
+            raise ValueError(
+                f"{spec.name}: backend= does not combine with cache= "
+                f"(cache keys are dispatch-independent by design)"
+            )
+        from repro.schedule.serialize import schedule_from_json
+        from repro.serve import canonical_request
+
+        request = canonical_request(spec.name, params, **kwargs)
+        return schedule_from_json(cache.plan_json(request))
     if params is None:
         params = _machine_from_kwargs(kwargs)
     elif "P" in kwargs or "L" in kwargs:

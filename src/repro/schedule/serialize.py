@@ -24,9 +24,21 @@ from typing import Any
 from repro.params import LogPParams
 from repro.schedule.ops import Schedule, SendOp
 
-__all__ = ["schedule_to_json", "schedule_from_json", "dump_schedule", "load_schedule"]
+__all__ = [
+    "schedule_payload",
+    "schedule_to_json",
+    "schedule_from_json",
+    "dump_schedule",
+    "load_schedule",
+]
 
 FORMAT = "logp-schedule/1"
+
+#: ``json.dumps`` keywords for ``canonical=True`` output: one byte
+#: sequence per payload, independent of dict insertion order.  The plan
+#: cache (:mod:`repro.serve`) content-hashes this form, so changing it
+#: invalidates every on-disk cache entry — treat it as a format constant.
+CANONICAL_DUMPS: dict[str, Any] = {"sort_keys": True, "separators": (",", ":")}
 
 
 def _encode_item(item: Any) -> Any:
@@ -49,8 +61,9 @@ def _decode_item(obj: Any) -> Any:
     return obj
 
 
-def schedule_to_json(schedule: Schedule) -> str:
-    """Serialize a schedule to a JSON string.
+def schedule_payload(schedule: Schedule) -> dict[str, Any]:
+    """The schedule's JSON-ready payload dict (the serialized form,
+    before ``json.dumps``).
 
     Sends are emitted in replay order straight from the schedule's cached
     column arrays (each distinct item is encoded once via the interning
@@ -62,7 +75,7 @@ def schedule_to_json(schedule: Schedule) -> str:
     cols = schedule.columns()
     order = sort_order(cols)
     encoded_items = [_encode_item(item) for item in cols.table.items]
-    payload = {
+    return {
         "format": FORMAT,
         "params": {
             "P": schedule.params.P,
@@ -88,6 +101,21 @@ def schedule_to_json(schedule: Schedule) -> str:
             )
         ],
     }
+
+
+def schedule_to_json(schedule: Schedule, canonical: bool = False) -> str:
+    """Serialize a schedule to a JSON string.
+
+    ``canonical=True`` emits the byte-canonical form (sorted keys,
+    compact separators — :data:`CANONICAL_DUMPS`) used by the plan
+    cache's content hashing; the default form keeps ``json.dumps``'s
+    standard separators, which every checked-in corpus file was written
+    with.  Both forms carry the identical payload
+    (:func:`schedule_payload`) and load back identically.
+    """
+    payload = schedule_payload(schedule)
+    if canonical:
+        return json.dumps(payload, **CANONICAL_DUMPS)
     return json.dumps(payload)
 
 

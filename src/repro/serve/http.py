@@ -1,0 +1,165 @@
+"""Stdlib HTTP front end for the plan service.
+
+Endpoints (JSON in, JSON out)::
+
+    POST /plan        {"collective": "bcast", "P": 8, "L": 6, ...}
+                   -> {"key": ..., "content_hash": ..., "plan": {...}}
+    POST /plan_many   {"requests": [{...}, {...}]}
+                   -> {"count": N, "plans": [{...}, ...]}
+    GET  /stats    -> the service's counters (cache tiers + core caches)
+
+Built on ``http.server.ThreadingHTTPServer`` — no dependencies beyond
+the standard library, threads instead of an event loop because the hot
+path is a dict lookup and the cold path releases the GIL into numpy.
+Malformed input answers 400 with a one-line ``{"error": ...}``; unknown
+paths answer 404.  Start one with :func:`serve_http` (pass ``port=0``
+for an ephemeral test port) or ``python -m repro.cli serve``.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, cast
+
+from repro.serve.keys import content_hash, request_from_mapping, request_key
+from repro.serve.service import PlanService
+
+__all__ = ["PlanRequestHandler", "PlanServer", "serve_http"]
+
+#: Refuse request bodies beyond this size before reading them: the
+#: largest legitimate ``plan_many`` batches are a few thousand requests
+#: of ~100 bytes each.
+MAX_BODY_BYTES = 8 * 2**20
+
+
+class PlanRequestHandler(BaseHTTPRequestHandler):
+    """Routes the three endpoints onto the server's ``PlanService``."""
+
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+
+    @property
+    def plan_server(self) -> "PlanServer":
+        # self.server is typed as the socketserver base; this handler is
+        # only ever constructed by a PlanServer
+        return cast("PlanServer", self.server)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if self.plan_server.verbose:
+            super().log_message(format, *args)
+
+    def _reply(self, status: int, doc: dict[str, Any] | str) -> None:
+        body = doc.encode() if isinstance(doc, str) else json.dumps(doc).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._reply(status, {"error": message})
+
+    def _read_body(self) -> dict[str, Any] | None:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._error(400, "malformed Content-Length")
+            return None
+        if length <= 0:
+            self._error(400, "request body required")
+            return None
+        if length > MAX_BODY_BYTES:
+            self._error(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+            return None
+        raw = self.rfile.read(length)
+        try:
+            doc = json.loads(raw)
+        except ValueError as exc:
+            self._error(400, f"malformed JSON body: {exc}")
+            return None
+        if not isinstance(doc, dict):
+            self._error(400, "request body must be a JSON object")
+            return None
+        return doc
+
+    # -- endpoints ---------------------------------------------------------
+
+    def do_GET(self) -> None:
+        if self.path != "/stats":
+            self._error(404, f"unknown path {self.path!r} (try /stats)")
+            return
+        self._reply(200, self.plan_server.service.stats())
+
+    def do_POST(self) -> None:
+        if self.path not in ("/plan", "/plan_many"):
+            self._error(
+                404, f"unknown path {self.path!r} (try /plan or /plan_many)"
+            )
+            return
+        doc = self._read_body()
+        if doc is None:
+            return
+        service = self.plan_server.service
+        try:
+            if self.path == "/plan":
+                req = request_from_mapping(doc)
+                content = service.plan_json(req)
+                self._reply(
+                    200,
+                    {
+                        "key": request_key(req),
+                        "content_hash": content_hash(content),
+                        "plan": json.loads(content),
+                    },
+                )
+            else:
+                batch = doc.get("requests")
+                if not isinstance(batch, list):
+                    self._error(400, "plan_many body needs a 'requests' list")
+                    return
+                plans = service.plan_many_json(batch)
+                self._reply(
+                    200,
+                    {
+                        "count": len(plans),
+                        "plans": [json.loads(p) for p in plans],
+                    },
+                )
+        except ValueError as exc:
+            self._error(400, str(exc))
+
+
+class PlanServer(ThreadingHTTPServer):
+    """A ``ThreadingHTTPServer`` carrying its :class:`PlanService`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: PlanService,
+        verbose: bool = False,
+    ) -> None:
+        self.service = service
+        self.verbose = verbose
+        super().__init__(address, PlanRequestHandler)
+
+
+def serve_http(
+    host: str = "127.0.0.1",
+    port: int = 8040,
+    service: PlanService | None = None,
+    verbose: bool = False,
+) -> PlanServer:
+    """Bind a plan server (not yet serving — call ``serve_forever``).
+
+    ``port=0`` binds an ephemeral port (read it back from
+    ``server.server_address``), which is how the tests and the CI smoke
+    run without port collisions.
+    """
+    return PlanServer(
+        (host, port), service if service is not None else PlanService(),
+        verbose=verbose,
+    )

@@ -54,6 +54,11 @@ MODULES = [
     "repro.passes.library",
     "repro.passes.pipeline",
     "repro.passes.manager",
+    "repro.serve",
+    "repro.serve.keys",
+    "repro.serve.cache",
+    "repro.serve.service",
+    "repro.serve.http",
     "repro.sim.machine",
     "repro.sim.validate",
     "repro.sim.validate_np",

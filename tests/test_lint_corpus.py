@@ -53,6 +53,20 @@ def test_serialization_is_byte_stable(name):
     assert schedule_to_json(sched) == path.read_text().rstrip("\n")
 
 
+@pytest.mark.parametrize("name", corpus_names())
+def test_canonical_serialization_is_byte_stable(name):
+    # canonical=True is the plan cache's content-hash form: sorted keys,
+    # compact separators, same data — pinned here so a serializer change
+    # that would silently invalidate every cached blob fails loudly
+    path = CORPUS / f"{name}.json"
+    canonical = schedule_to_json(load_schedule(path), canonical=True)
+    assert canonical == json.dumps(
+        json.loads(path.read_text()), sort_keys=True, separators=(",", ":")
+    )
+    # and it parses back to the same document
+    assert json.loads(canonical) == json.loads(path.read_text())
+
+
 def test_clean_canary_is_fully_clean():
     report = lint_schedule(load_schedule(CORPUS / "clean.json"))
     assert len(report) == 0
