@@ -2,7 +2,7 @@
 
 PY ?= python3
 
-.PHONY: install test lint bench figures sweeps examples all clean
+.PHONY: install test lint check bench figures sweeps examples all clean
 
 install:
 	$(PY) -m pip install -e . --no-build-isolation
@@ -36,6 +36,16 @@ lint:
 		$(PY) -m mypy || exit 1; \
 	else \
 		echo "SKIP: mypy not installed (CI runs it)"; \
+	fi
+
+# Codebase checkers (REPRO001-REPRO008) over the whole package; fails
+# on any warning.  Skips loudly when the package sources are absent
+# (e.g. a docs-only checkout) — CI always runs it for real.
+check:
+	@if [ -d src/repro ]; then \
+		PYTHONPATH=src $(PY) -m repro.cli check src/repro || exit 1; \
+	else \
+		echo "SKIP: src/repro not present"; \
 	fi
 
 bench:

@@ -1,0 +1,103 @@
+"""Per-file analysis context: one parse, one classification, all rules.
+
+A :class:`FileContext` is built once per checked file (mirroring
+:class:`repro.analyze.context.LintContext`'s parse-once discipline at
+the schedule tier): the source is read once, the AST is parsed once,
+profiles and suppression comments are extracted once, and every
+applicable rule walks the same tree.
+
+Suppressions are ruff-``noqa``-style same-line comments::
+
+    return json.dumps(payload)  # repro: ignore[REPRO005] -- default form
+
+``ignore[A,B]`` suppresses several rules at once; anything after the
+closing bracket is free-text rationale.  The engine tracks which
+suppressions actually matched a diagnostic and reports stale ones as
+:data:`~repro.checkers.diagnostics.UNUSED_SUPPRESSION` warnings.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.checkers.profiles import classify, pragma_profiles
+
+__all__ = ["FileContext", "parse_suppressions", "SUPPRESSION_RE"]
+
+#: ``# repro: ignore[REPRO001]`` / ``# repro: ignore[REPRO001,REPRO005]``.
+SUPPRESSION_RE = re.compile(
+    r"#\s*repro:\s*ignore\[\s*([A-Za-z0-9_,\s-]+?)\s*\]"
+)
+
+
+def parse_suppressions(source: str) -> dict[int, set[str]]:
+    """Map 1-indexed line number -> rule ids suppressed on that line."""
+    out: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = SUPPRESSION_RE.search(line)
+        if match is None:
+            continue
+        rules = {
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        }
+        if rules:
+            out[lineno] = rules
+    return out
+
+
+@dataclass
+class FileContext:
+    """Everything the rules need to know about one file."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    profiles: frozenset[str]
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: str | Path, display: str | None = None) -> "FileContext":
+        """Read, parse and classify ``path``.
+
+        ``display`` overrides the path recorded on diagnostics (used to
+        render repo-relative paths regardless of how the file was
+        reached).  Raises ``ValueError`` with a one-line message for
+        unreadable or syntactically invalid files.
+        """
+        shown = display if display is not None else Path(path).as_posix()
+        try:
+            source = Path(path).read_text(encoding="utf-8")
+        except OSError as exc:
+            raise ValueError(f"{shown}: cannot read file: {exc}") from None
+        return cls.from_source(source, shown, origin=path)
+
+    @classmethod
+    def from_source(
+        cls,
+        source: str,
+        display: str,
+        origin: str | Path | None = None,
+    ) -> "FileContext":
+        """Build a context from in-memory source (tests, tooling)."""
+        try:
+            tree = ast.parse(source, filename=display)
+        except SyntaxError as exc:
+            raise ValueError(
+                f"{display}:{exc.lineno}: cannot parse: {exc.msg}"
+            ) from None
+        pragma = pragma_profiles(source)
+        profiles = (
+            pragma
+            if pragma is not None
+            else classify(origin if origin is not None else display)
+        )
+        return cls(
+            path=display,
+            source=source,
+            tree=tree,
+            profiles=profiles,
+            suppressions=parse_suppressions(source),
+        )

@@ -1,0 +1,119 @@
+"""Render check reports: human text and SARIF-shaped JSON.
+
+Mirrors :mod:`repro.analyze.report` one tier up.  The text form is
+byte-stable (sorted diagnostics, fixed field order, no timestamps or
+elapsed times) so the corpus tests in ``tests/test_check_corpus.py``
+can pin it verbatim.  The SARIF form differs from the schedule lint's
+in exactly one way: code findings have files and line numbers, so
+results carry *physical* locations (``artifactLocation`` + ``region``)
+instead of send-index logical locations.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.checkers.diagnostics import (
+    UNUSED_SUPPRESSION,
+    CheckReport,
+    Severity,
+)
+from repro.checkers.registry import CHECKERS
+
+__all__ = ["render_text", "to_sarif", "sarif_json"]
+
+_META_RULES = [
+    {
+        "id": UNUSED_SUPPRESSION,
+        "name": "unused-suppression",
+        "shortDescription": {
+            "text": "a # repro: ignore[...] comment matched nothing"
+        },
+        "defaultConfiguration": {"level": Severity.WARNING.sarif_level},
+    }
+]
+
+
+def render_text(report: CheckReport, verbose: bool = False) -> str:
+    """One line per diagnostic plus a summary (stable across runs)."""
+    lines = [
+        f"repro-check: {report.files_checked} files, "
+        f"{len(report.rules_run)} rules run"
+    ]
+    for diag in report.diagnostics:
+        lines.append(diag.render())
+        if verbose and diag.fixit:
+            lines.append(f"    fix: {diag.fixit}")
+    errors = report.count(Severity.ERROR)
+    warnings = report.count(Severity.WARNING)
+    infos = report.count(Severity.INFO)
+    lines.append(f"summary: {errors} errors, {warnings} warnings, {infos} info")
+    return "\n".join(lines)
+
+
+def to_sarif(report: CheckReport) -> dict[str, Any]:
+    """The report as a SARIF-2.1.0-shaped dict."""
+    ran = set(report.rules_run)
+    rules_meta = [
+        {
+            "id": checker.id,
+            "name": checker.name,
+            "shortDescription": {"text": checker.summary},
+            "defaultConfiguration": {"level": checker.severity.sarif_level},
+        }
+        for checker in CHECKERS
+        if checker.id in ran
+    ]
+    fired = {d.rule for d in report.diagnostics}
+    if UNUSED_SUPPRESSION in fired:
+        rules_meta.extend(_META_RULES)
+    results = []
+    for diag in report.diagnostics:
+        result: dict[str, Any] = {
+            "ruleId": diag.rule,
+            "level": diag.severity.sarif_level,
+            "message": {"text": diag.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": diag.path},
+                        "region": {"startLine": diag.line},
+                    }
+                }
+            ],
+        }
+        if diag.fixit:
+            result["fixes"] = [{"description": {"text": diag.fixit}}]
+        results.append(result)
+    return {
+        "version": "2.1.0",
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-check",
+                        "informationUri": (
+                            "https://doi.org/10.1145/165231.165250"
+                        ),
+                        "rules": rules_meta,
+                    }
+                },
+                "results": results,
+                "properties": {
+                    "filesChecked": report.files_checked,
+                    "rulesRun": report.rules_run,
+                    "ruleTotals": report.rule_totals,
+                },
+            }
+        ],
+    }
+
+
+def sarif_json(report: CheckReport, indent: int | None = 2) -> str:
+    """The SARIF dict serialized to JSON text."""
+    return json.dumps(to_sarif(report), indent=indent, sort_keys=False)

@@ -14,6 +14,8 @@ Usage::
     python -m repro.cli serve      [--port 8040] [--capacity N] [--cache-dir DIR]
     python -m repro.cli lint       <schedule.json> [--format text|json]
     python -m repro.cli lint       --builder bcast --P 8 --L 6 --o 2 --g 4
+    python -m repro.cli check      src/repro [--format text|sarif]
+    python -m repro.cli check      --select REPRO001,REPRO002 src/repro/passes
     python -m repro.cli opt        <schedule.json> --pipeline "shift{offset=5}"
     python -m repro.cli opt        --builder all-to-all -P 1024 \
                                    --pipeline "reverse,canonicalize" --verify-each
@@ -32,6 +34,11 @@ subcommand is the exception by design: it runs the *static* rule sweep
 fresh with any registered builder — with no simulation, and exits
 non-zero if anything at or above ``--fail-on`` (default: ``error``)
 fires.
+
+``check`` is the same idea one tier up: the REPRO001-REPRO008 codebase
+checkers (:mod:`repro.checkers`) sweep Python *source files* for the
+conventions this repository's performance story rests on, defaulting to
+``--fail-on warning`` so a clean tree stays clean.
 
 ``opt`` drives the pass framework (:mod:`repro.passes`): it parses a
 textual pipeline, runs it through the :class:`~repro.passes.PassManager`
@@ -406,6 +413,34 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if report.at_least(Severity.parse(args.fail_on)) else 0
 
 
+def _rule_list(value: str | None) -> list[str] | None:
+    """Split a ``--select REPRO001,REPRO002`` spelling into rule keys."""
+    if not value:
+        return None
+    return [part.strip() for part in value.split(",") if part.strip()]
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """Run the REPRO codebase checkers over files / directories."""
+    from repro.checkers import Severity, check_paths, render_text, sarif_json
+
+    try:
+        report = check_paths(
+            args.paths,
+            select=_rule_list(args.select),
+            ignore=_rule_list(args.ignore),
+        )
+    except ValueError as exc:
+        return _usage_error(str(exc))
+    if args.format == "sarif":
+        print(sarif_json(report))
+    else:
+        print(render_text(report, verbose=args.verbose))
+    if args.fail_on == "never":
+        return 0
+    return 1 if report.at_least(Severity.parse(args.fail_on)) else 0
+
+
 def cmd_opt(args: argparse.Namespace) -> int:
     from repro.passes import PassManager, PassVerificationError, pass_specs
 
@@ -639,6 +674,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="include fix-it hints in text output"
     )
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "check", help="REPRO codebase checkers over Python sources"
+    )
+    p.add_argument(
+        "paths",
+        nargs="+",
+        metavar="PATH",
+        help="Python files and/or directories (recursed) to check",
+    )
+    p.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rules to run (REPRO ids or names)",
+    )
+    p.add_argument(
+        "--ignore",
+        metavar="RULES",
+        help="comma-separated rules to drop from the sweep",
+    )
+    p.add_argument(
+        "--format",
+        choices=("text", "sarif"),
+        default="text",
+        help="text report or SARIF 2.1.0 JSON",
+    )
+    p.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "info", "never"),
+        default="warning",
+        help="minimum severity that makes the exit code non-zero",
+    )
+    p.add_argument(
+        "--verbose", action="store_true", help="include fix-it hints in text output"
+    )
+    p.set_defaults(func=cmd_check)
 
     p = sub.add_parser(
         "opt", help="run a verified pass pipeline over a schedule"

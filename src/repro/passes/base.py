@@ -45,6 +45,7 @@ if TYPE_CHECKING:  # implicit IR is optional at runtime for this module
 __all__ = [
     "SchedulePass",
     "PassSpec",
+    "refuse_implicit",
     "register_pass",
     "get_pass_cls",
     "get_pass_spec",
@@ -117,6 +118,35 @@ class SchedulePass:
     def __repr__(self) -> str:
         backend = f", backend={self.backend!r}" if self.backend else ""
         return f"<{type(self).__name__} {self.describe()}{backend}>"
+
+
+def refuse_implicit(
+    reason: str,
+) -> Callable[[SchedulePass, "ImplicitSchedule"], "ImplicitSchedule"]:
+    """An explicit, documented ``run_implicit`` refusal for a class body.
+
+    Passes that cannot rewrite an implicit plan in O(1) declare it
+    loudly instead of inheriting the base refusal silently::
+
+        run_implicit = refuse_implicit("canonical order is a column property")
+
+    The declaration is what REPRO007 (``repro check``) looks for: every
+    registered pass either implements ``run_implicit`` or carries one of
+    these, so "this pass materializes" is always a reviewed decision,
+    never an accident of inheritance.  The raised message keeps the
+    ``would materialize`` phrasing of the base refusal.
+    """
+
+    def run_implicit(
+        self: SchedulePass, schedule: "ImplicitSchedule"
+    ) -> "ImplicitSchedule":
+        raise TypeError(
+            f"pass {self.name!r} would materialize an implicit schedule "
+            f"({reason}); run it on schedule.materialize() if O(num_sends) "
+            f"memory is acceptable"
+        )
+
+    return run_implicit
 
 
 @dataclass(frozen=True)

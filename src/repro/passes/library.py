@@ -27,7 +27,7 @@ from __future__ import annotations
 from typing import Any, Callable, ClassVar, Hashable, Iterable, Mapping
 
 from repro.passes import kernels
-from repro.passes.base import SchedulePass, register_pass
+from repro.passes.base import SchedulePass, refuse_implicit, register_pass
 from repro.schedule.implicit import ImplicitSchedule
 from repro.schedule.ops import Schedule, SendOp
 
@@ -60,6 +60,8 @@ class ShiftPass(SchedulePass):
     name: ClassVar[str] = "shift"
     summary: ClassVar[str] = "translate all times by a constant offset"
     params_doc: ClassVar[str] = "offset=<int> (may be negative)"
+    preserves_legality: ClassVar[bool] = True
+    preserves_completion: ClassVar[bool] = True
 
     def __init__(self, offset: int = 0, backend: str | None = None):
         super().__init__(backend=backend)
@@ -88,6 +90,8 @@ class RemapPass(SchedulePass):
     name: ClassVar[str] = "remap"
     summary: ClassVar[str] = "relabel processors by an injective mapping"
     params_doc: ClassVar[str] = "perm=reverse | mapping={old: new} (API only)"
+    preserves_legality: ClassVar[bool] = True
+    preserves_completion: ClassVar[bool] = True
 
     def __init__(
         self,
@@ -141,6 +145,9 @@ class ReversePass(SchedulePass):
     name: ClassVar[str] = "reverse"
     summary: ClassVar[str] = "time-reverse sends (broadcast <-> reduction)"
     params_doc: ClassVar[str] = "tag=<str> (item label prefix, default rev)"
+    preserves_legality: ClassVar[bool] = True
+    preserves_completion: ClassVar[bool] = True
+    run_implicit = refuse_implicit("time reversal relabels every send's item")
 
     def __init__(
         self,
@@ -180,7 +187,11 @@ class ConcatPass(SchedulePass):
     name: ClassVar[str] = "concat"
     summary: ClassVar[str] = "run a second schedule after the first finishes"
     params_doc: ClassVar[str] = "second=<Schedule> (API only)"
+    preserves_legality: ClassVar[bool] = True
     preserves_completion: ClassVar[bool] = False
+    run_implicit = refuse_implicit(
+        "the appended schedule is already materialized columns"
+    )
 
     def __init__(self, second: Schedule, backend: str | None = None):
         super().__init__(backend=backend)
@@ -215,7 +226,11 @@ class RestrictPass(SchedulePass):
     name: ClassVar[str] = "restrict"
     summary: ClassVar[str] = "drop sends leaving a processor subset"
     params_doc: ClassVar[str] = "procs=<lo:hi | a+b+c>"
+    preserves_legality: ClassVar[bool] = True
     preserves_completion: ClassVar[bool] = False
+    run_implicit = refuse_implicit(
+        "the surviving send set is data-dependent, not a closed form"
+    )
 
     def __init__(
         self, procs: Iterable[int] | str, backend: str | None = None
@@ -243,6 +258,11 @@ class CanonicalizePass(SchedulePass):
 
     name: ClassVar[str] = "canonicalize"
     summary: ClassVar[str] = "sort sends canonically, compact the item table"
+    preserves_legality: ClassVar[bool] = True
+    preserves_completion: ClassVar[bool] = True
+    run_implicit = refuse_implicit(
+        "canonical storage order is a property of materialized columns"
+    )
 
     def run(self, schedule: Schedule) -> Schedule:
         if self._use_numpy(schedule):
@@ -263,7 +283,11 @@ class PruneDeadSendsPass(SchedulePass):
 
     name: ClassVar[str] = "prune-dead-sends"
     summary: ClassVar[str] = "delete sends whose payload the dst already holds"
+    preserves_legality: ClassVar[bool] = True
     preserves_completion: ClassVar[bool] = False
+    run_implicit = refuse_implicit(
+        "dead-send detection replays per-processor item availability"
+    )
 
     def run(self, schedule: Schedule) -> Schedule:
         if self._use_numpy(schedule):
@@ -284,7 +308,11 @@ class CompactTimePass(SchedulePass):
 
     name: ClassVar[str] = "compact-time"
     summary: ClassVar[str] = "collapse globally idle cycles in the timeline"
+    preserves_legality: ClassVar[bool] = True
     preserves_completion: ClassVar[bool] = False
+    run_implicit = refuse_implicit(
+        "idle-gap detection scans the full materialized timeline"
+    )
 
     def run(self, schedule: Schedule) -> Schedule:
         if self._use_numpy(schedule):

@@ -35,6 +35,7 @@ import threading
 from collections import OrderedDict
 from pathlib import Path
 
+from repro.schedule.serialize import CANONICAL_DUMPS
 from repro.serve.keys import content_hash
 
 __all__ = ["LRUCache", "DiskCache", "PlanCache"]
@@ -181,7 +182,7 @@ class DiskCache:
             _atomic_write(self._blob_path(blob_hash), content)
         _atomic_write(
             self._index_path(key_hash),
-            json.dumps({"key": key, "content": blob_hash}),
+            json.dumps({"key": key, "content": blob_hash}, **CANONICAL_DUMPS),
         )
         with self._lock:
             self.writes += 1

@@ -70,6 +70,14 @@ MODULES = [
     "repro.analyze.engine",
     "repro.analyze.chunked",
     "repro.analyze.report",
+    "repro.checkers",
+    "repro.checkers.profiles",
+    "repro.checkers.diagnostics",
+    "repro.checkers.context",
+    "repro.checkers.registry",
+    "repro.checkers.rules",
+    "repro.checkers.engine",
+    "repro.checkers.report",
     "repro.baselines.trees",
     "repro.baselines.kitem",
     "repro.baselines.summation",

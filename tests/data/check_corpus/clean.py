@@ -1,0 +1,43 @@
+# repro: profile=hot,keying,cli
+"""Benign lookalikes: every profiled rule applies here; none may fire."""
+
+import json
+import threading
+from functools import lru_cache
+
+CANONICAL_DUMPS = {"sort_keys": True, "separators": (",", ":")}
+
+
+@lru_cache(maxsize=512)
+def bounded(n):
+    return n * n
+
+
+def columnar_total(cols):
+    return int(cols.times.sum())
+
+
+def loops_over_reduced(times):
+    return [t + 1 for t in times]
+
+
+def canonical_key(payload):
+    return json.dumps(payload, **CANONICAL_DUMPS)
+
+
+def sorted_items_key(items):
+    return json.dumps({"items": sorted(items)}, **CANONICAL_DUMPS)
+
+
+class Guarded:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0
+
+    def record(self):
+        with self._lock:
+            self.hits += 1
+
+
+def fail(reason):
+    raise ValueError(f"bad input: {reason}")

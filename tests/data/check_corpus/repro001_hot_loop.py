@@ -1,0 +1,11 @@
+# repro: profile=hot
+"""Planted REPRO001: per-send Python loops in a hot module."""
+
+
+def total_time(schedule):
+    total = 0
+    for op in schedule.sends:
+        total += op.time
+    times = [op.time for op in schedule.sends]
+    by_proc = schedule.sends_by_proc()
+    return total, times, by_proc

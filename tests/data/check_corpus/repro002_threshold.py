@@ -1,0 +1,11 @@
+"""Planted REPRO002: dispatch threshold compared outside repro.dispatch."""
+
+FAST_PATH_THRESHOLD = 4096
+
+
+def use_numpy(num_sends):
+    return num_sends >= FAST_PATH_THRESHOLD
+
+
+def chooses_backend(schedule, dispatch):
+    return schedule.num_sends > dispatch.FAST_PATH_THRESHOLD

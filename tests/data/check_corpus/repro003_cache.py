@@ -1,0 +1,25 @@
+"""Planted REPRO003: unbounded caches (and one bounded, benign one)."""
+
+from functools import cache, lru_cache
+
+_result_cache = {}
+
+
+@lru_cache
+def fib(n):
+    return n if n < 2 else fib(n - 1) + fib(n - 2)
+
+
+@lru_cache(maxsize=None)
+def factorial(n):
+    return 1 if n < 2 else n * factorial(n - 1)
+
+
+@cache
+def catalan(n):
+    return 1
+
+
+@lru_cache(maxsize=256)
+def bounded(n):
+    return n * n

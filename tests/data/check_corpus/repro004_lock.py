@@ -1,0 +1,22 @@
+"""Planted REPRO004: counters mutated outside the lock that guards them."""
+
+import threading
+
+
+class Counters:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def record_hit(self):
+        with self._lock:
+            self.hits += 1
+
+    def record_miss(self):
+        self.misses += 1
+        with self._lock:
+            self.misses += 1
+
+    def reset(self):
+        self.hits = 0

@@ -1,0 +1,14 @@
+# repro: profile=keying
+"""Planted REPRO005: non-canonical json.dumps in a keying module."""
+
+import json
+
+CANONICAL_DUMPS = {"sort_keys": True, "separators": (",", ":")}
+
+
+def content_key(payload):
+    return json.dumps(payload)
+
+
+def canonical_key(payload):
+    return json.dumps(payload, **CANONICAL_DUMPS)

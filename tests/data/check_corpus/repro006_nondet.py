@@ -1,0 +1,23 @@
+# repro: profile=keying
+"""Planted REPRO006: nondeterminism feeding content keys."""
+
+import json
+import random
+import time
+
+CANONICAL_DUMPS = {"sort_keys": True, "separators": (",", ":")}
+
+
+def stamped_key(payload):
+    return json.dumps({"payload": payload, "at": time.time()}, **CANONICAL_DUMPS)
+
+
+def salted_key(payload):
+    salt = random.random()
+    return json.dumps({"payload": payload, "salt": salt}, **CANONICAL_DUMPS)
+
+
+def set_key(items):
+    return json.dumps(
+        {"items": {item.name for item in items}}, **CANONICAL_DUMPS
+    )

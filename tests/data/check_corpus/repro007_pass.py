@@ -1,0 +1,24 @@
+"""Planted REPRO007: a registered pass that declares nothing."""
+
+from repro.passes.base import SchedulePass, refuse_implicit, register_pass
+
+
+@register_pass
+class SilentPass(SchedulePass):
+    name = "silent"
+    summary = "declares no invariants and no implicit contract"
+
+    def run(self, schedule):
+        return schedule
+
+
+@register_pass
+class DeclaredPass(SchedulePass):
+    name = "declared"
+    summary = "declares everything REPRO007 wants"
+    preserves_legality = True
+    preserves_completion = False
+    run_implicit = refuse_implicit("needs materialized columns")
+
+    def run(self, schedule):
+        return schedule

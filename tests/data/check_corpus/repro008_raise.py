@@ -1,0 +1,15 @@
+# repro: profile=cli
+"""Planted REPRO008: opaque raises on the CLI-reachable surface."""
+
+
+def load(path):
+    if not path:
+        raise ValueError
+    try:
+        return open(path).read()
+    except OSError:
+        raise RuntimeError()
+
+
+def unfinished():
+    raise NotImplementedError

@@ -1,0 +1,13 @@
+# repro: profile=keying
+"""Suppression mechanics: one honored ignore, one stale ignore."""
+
+import json
+
+
+def legacy_key(payload):
+    # the checked-in v0 index format predates canonical dumps
+    return json.dumps(payload)  # repro: ignore[REPRO005]
+
+
+def sorted_key(payload):
+    return sorted(payload)  # repro: ignore[REPRO006]

@@ -1,0 +1,73 @@
+"""Subprocess regression: the hot-loop linter shim keeps its contract.
+
+``tools/lint_hot_loops.py`` is now a shim over ``repro.checkers``
+(REPRO001/REPRO002); CI and developer muscle memory rely on its exact
+command line, output format and exit codes (0 clean / 1 violations /
+2 missing file).  These tests run it the way CI does — as a plain
+subprocess, with no PYTHONPATH — so the sys.path bootstrap inside the
+shim is covered too.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SHIM = ROOT / "tools" / "lint_hot_loops.py"
+
+
+def run_shim(*args, cwd=ROOT):
+    env = {k: v for k, v in os.environ.items() if k != "PYTHONPATH"}
+    return subprocess.run(
+        [sys.executable, str(SHIM), *map(str, args)],
+        capture_output=True,
+        text=True,
+        cwd=cwd,
+        env=env,
+    )
+
+
+def test_default_run_is_clean_exit_zero():
+    proc = run_shim()
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert proc.stdout.startswith("lint-hot-loops: ")
+    assert proc.stdout.rstrip().endswith("module(s) clean")
+
+
+def test_violations_exit_one_with_legacy_format(tmp_path):
+    bad = tmp_path / "src" / "repro" / "passes" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(
+        "def f(schedule):\n"
+        "    total = 0\n"
+        "    for op in schedule.sends:\n"
+        "        total += op.time\n"
+        "    if schedule.num_sends >= FAST_PATH_THRESHOLD:\n"
+        "        return 0\n"
+        "    return total\n"
+    )
+    proc = run_shim(bad)
+    assert proc.returncode == 1
+    lines = proc.stdout.splitlines()
+    assert lines[0] == "lint-hot-loops: 2 violation(s):"
+    assert lines[1] == (
+        f"  {bad}:3: python loop over `.sends` in a hot module "
+        "(use the columnar arrays)"
+    )
+    assert lines[2] == (
+        f"  {bad}:5: comparison against FAST_PATH_THRESHOLD outside "
+        "repro.dispatch (call repro.dispatch.use_numpy() instead)"
+    )
+
+
+def test_missing_file_exits_two():
+    proc = run_shim("src/repro/does_not_exist.py")
+    assert proc.returncode == 2
+    assert proc.stdout.startswith("lint-hot-loops: missing files: ")
+
+
+def test_dispatch_owner_is_exempt_when_listed_explicitly():
+    proc = run_shim("src/repro/dispatch.py")
+    assert proc.returncode == 0
+    assert proc.stdout.rstrip() == "lint-hot-loops: 1 module(s) clean"

@@ -1,158 +1,57 @@
 #!/usr/bin/env python3
 """AST gate: no Python-level loops over sends in the vectorized hot path.
 
-The whole point of the columnar IR (``repro.schedule.columnar``) is that
-large schedules are processed as ``int64`` arrays, never as per-send
-``SendOp`` objects.  A single innocuous ``for op in schedule.sends:``
-inside one of the vectorized modules silently reintroduces the O(n)
-Python interpreter loop — and at P=1024 all-to-all scale (~1M sends)
-turns a sub-second rule sweep into minutes.
-
-This checker walks the AST of the allowlisted hot modules and fails if
-it finds, anywhere inside them:
-
-* a ``for`` statement or comprehension iterating over an expression
-  whose iterable is an attribute access ending in ``.sends``;
-* a call to one of the materializing accessors ``sorted_sends()``,
-  ``sends_by_proc()`` or ``receives_by_proc()``.
-
-``.tolist()`` / ``zip(...)`` over already-reduced numpy results is fine
-(and common) — the gate only targets the per-send object path.
-
-A second gate protects the dispatch policy: the objects-vs-numpy
-routing decision lives in :mod:`repro.dispatch` and nowhere else, so
-any comparison against ``FAST_PATH_THRESHOLD`` in the rest of
-``src/repro`` (the scattered ``schedule.num_sends >= FAST_PATH_THRESHOLD``
-pattern this repo used to have) is a violation — call
-``repro.dispatch.use_numpy(...)`` instead.
+This tool is now a thin shim over the :mod:`repro.checkers` framework
+(``repro check``): the hot-loop gate is rule REPRO001 and the dispatch
+threshold gate is rule REPRO002.  The command line, the default target
+list, the message text and the exit codes (0 = clean, 1 = violations,
+2 = a listed file is missing) are preserved byte-for-byte so existing
+CI jobs and muscle memory keep working; new rules land in ``repro
+check``, not here.
 
 Usage::
 
     python tools/lint_hot_loops.py            # check the default allowlist
     python tools/lint_hot_loops.py src/a.py   # check specific files
 
-Exit code 0 = clean, 1 = violations found, 2 = a listed file is missing.
-Stdlib only, so it runs anywhere (CI and the bare container alike).
+Prefer the full sweep::
+
+    python -m repro.cli check src/repro
 """
 
 from __future__ import annotations
 
-import ast
 import sys
 from pathlib import Path
 
-#: Modules that must stay free of per-send Python loops.  These are the
-#: vectorized kernels plus everything the < 1 s lint acceptance test
-#: routes through.
-HOT_MODULES = [
-    "src/repro/schedule/columnar.py",
-    "src/repro/schedule/analysis_np.py",
-    "src/repro/schedule/implicit.py",
-    "src/repro/sim/validate_np.py",
-    "src/repro/analyze/context.py",
-    "src/repro/analyze/rules.py",
-    "src/repro/analyze/engine.py",
-    "src/repro/analyze/chunked.py",
+_ROOT = Path(__file__).resolve().parent.parent
+if str(_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_ROOT / "src"))
+
+from repro.checkers.context import FileContext  # noqa: E402
+from repro.checkers.engine import check_context  # noqa: E402
+from repro.checkers.profiles import (  # noqa: E402
+    BANNED_CALLS,
+    DISPATCH_OWNER,
+    HOT_MODULES,
+    HOT_PACKAGES,
+    THRESHOLD_NAME,
+)
+from repro.checkers.registry import resolve_checkers  # noqa: E402
+
+__all__ = [
+    "HOT_MODULES",
+    "HOT_PACKAGES",
+    "BANNED_CALLS",
+    "DISPATCH_OWNER",
+    "THRESHOLD_NAME",
+    "check_file",
+    "dispatch_gate_targets",
+    "main",
 ]
 
-#: Whole packages that must stay free of per-send Python loops.  The
-#: pass framework promises zero SendOp materialization end to end, so
-#: every module under it is hot (the objects oracles live outside, in
-#: ``repro.schedule.transform``).
-HOT_PACKAGES = [
-    "src/repro/passes",
-]
-
-#: Calling any of these materializes / iterates SendOp objects.
-BANNED_CALLS = {"sorted_sends", "sends_by_proc", "receives_by_proc"}
-
-#: The one module allowed to compare against the dispatch threshold.
-DISPATCH_OWNER = "src/repro/dispatch.py"
-
-#: The policy knob whose comparisons must stay inside DISPATCH_OWNER.
-THRESHOLD_NAME = "FAST_PATH_THRESHOLD"
-
-
-def _is_sends_attr(node: ast.expr) -> bool:
-    """True for any expression shaped ``<something>.sends``."""
-    return isinstance(node, ast.Attribute) and node.attr == "sends"
-
-
-class HotLoopChecker(ast.NodeVisitor):
-    def __init__(self, path: str) -> None:
-        self.path = path
-        self.problems: list[str] = []
-
-    def _flag(self, node: ast.AST, what: str) -> None:
-        self.problems.append(f"{self.path}:{node.lineno}: {what}")
-
-    def _check_iter(self, node: ast.AST, iterable: ast.expr) -> None:
-        if _is_sends_attr(iterable):
-            self._flag(
-                node,
-                "python loop over `.sends` in a hot module "
-                "(use the columnar arrays)",
-            )
-
-    def visit_For(self, node: ast.For) -> None:
-        self._check_iter(node, node.iter)
-        self.generic_visit(node)
-
-    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
-        self._check_iter(node, node.iter)
-        self.generic_visit(node)
-
-    def _visit_comp(
-        self, node: ast.ListComp | ast.SetComp | ast.DictComp | ast.GeneratorExp
-    ) -> None:
-        for gen in node.generators:
-            self._check_iter(node, gen.iter)
-        self.generic_visit(node)
-
-    visit_ListComp = _visit_comp
-    visit_SetComp = _visit_comp
-    visit_DictComp = _visit_comp
-    visit_GeneratorExp = _visit_comp
-
-    def visit_Call(self, node: ast.Call) -> None:
-        func = node.func
-        if isinstance(func, ast.Attribute) and func.attr in BANNED_CALLS:
-            self._flag(
-                node,
-                f"call to `{func.attr}()` materializes SendOp objects "
-                "in a hot module (use the columnar arrays)",
-            )
-        self.generic_visit(node)
-
-
-def _mentions_threshold(node: ast.expr) -> bool:
-    """True if any sub-expression references the threshold knob."""
-    for sub in ast.walk(node):
-        if isinstance(sub, ast.Name) and sub.id == THRESHOLD_NAME:
-            return True
-        if isinstance(sub, ast.Attribute) and sub.attr == THRESHOLD_NAME:
-            return True
-    return False
-
-
-class DispatchGateChecker(ast.NodeVisitor):
-    """Flag threshold comparisons outside the dispatch policy module."""
-
-    def __init__(self, path: str) -> None:
-        self.path = path
-        self.problems: list[str] = []
-
-    def visit_Compare(self, node: ast.Compare) -> None:
-        if any(
-            _mentions_threshold(expr)
-            for expr in [node.left, *node.comparators]
-        ):
-            self.problems.append(
-                f"{self.path}:{node.lineno}: comparison against "
-                f"{THRESHOLD_NAME} outside repro.dispatch "
-                "(call repro.dispatch.use_numpy() instead)"
-            )
-        self.generic_visit(node)
+#: The two ported gates this shim still runs.
+SHIM_RULES = ("REPRO001", "REPRO002")
 
 
 def _is_dispatch_owner(path: Path, root: Path) -> bool:
@@ -172,25 +71,14 @@ def dispatch_gate_targets(root: Path) -> list[Path]:
 
 
 def check_file(path: Path, root: Path | None = None) -> list[str]:
-    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
-    problems: list[str] = []
-    posix = path.as_posix()
-    hot = any(posix.endswith(mod) for mod in HOT_MODULES) or any(
-        f"{pkg}/" in posix for pkg in HOT_PACKAGES
-    )
-    if hot:
-        checker = HotLoopChecker(str(path))
-        checker.visit(tree)
-        problems.extend(checker.problems)
-    if root is None or not _is_dispatch_owner(path, root):
-        gate = DispatchGateChecker(str(path))
-        gate.visit(tree)
-        problems.extend(gate.problems)
-    return problems
+    """REPRO001/REPRO002 findings for one file, in the legacy format."""
+    ctx = FileContext.load(path, display=str(path))
+    diagnostics, _ = check_context(ctx, resolve_checkers(select=SHIM_RULES))
+    return [f"{d.path}:{d.line}: {d.message}" for d in diagnostics]
 
 
 def main(argv: list[str]) -> int:
-    root = Path(__file__).resolve().parent.parent
+    root = _ROOT
     if argv:
         targets = [Path(arg) for arg in argv]
     else:
