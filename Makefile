@@ -2,7 +2,7 @@
 
 PY ?= python3
 
-.PHONY: install test lint check bench figures sweeps examples all clean
+.PHONY: install test lint check run-smoke bench figures sweeps examples all clean
 
 install:
 	$(PY) -m pip install -e . --no-build-isolation
@@ -47,6 +47,24 @@ check:
 	else \
 		echo "SKIP: src/repro not present"; \
 	fi
+
+# Real-transport execution smoke (S37): every registered collective is
+# lowered to per-rank programs, executed on the inproc and mp
+# transports, and byte-verified against the simulator's delivered
+# multiset; then the P=256 broadcast on both transports.
+run-smoke:
+	@for t in inproc mp; do \
+		for b in $$(PYTHONPATH=src $(PY) -m repro.cli builders --names); do \
+			echo "== run --builder $$b --transport $$t"; \
+			PYTHONPATH=src $(PY) -m repro.cli run --builder $$b \
+				--transport $$t --verify || exit 1; \
+		done; \
+	done
+	@for t in inproc mp; do \
+		echo "== run --builder bcast -P 256 --transport $$t"; \
+		PYTHONPATH=src $(PY) -m repro.cli run --builder bcast \
+			-P 256 -L 4 --o 1 --g 2 --transport $$t --verify || exit 1; \
+	done
 
 bench:
 	PYTHONPATH=src $(PY) -m repro.cli bench --out BENCH.json

@@ -217,6 +217,55 @@ def test_serve_hot_cache_speedup():
     assert row["batch_plans_per_s"] >= row["hot_plans_per_s"] / 3
 
 
+def test_exec_lowers_and_runs_p256_broadcast_in_bounded_time():
+    """PR-9 acceptance: compiling the P=256 broadcast to per-rank
+    programs and actually executing it on the inproc transport (real
+    threads, real queues, simulator verification on) completes well
+    inside a 5s budget, and lowering consumes the columnar storage
+    zero-copy — no per-SendOp objects are ever materialized."""
+    from repro import registry
+    from repro.exec import execute, lower_schedule
+    from repro.params import LogPParams
+
+    params = LogPParams(P=256, L=4, o=1, g=2)
+    schedule = registry.plan("broadcast", params, backend="columnar")
+    assert schedule.is_array_backed
+    lower_s, plan = time_call(lambda: lower_schedule(schedule), repeat=3)
+    assert schedule.is_array_backed  # lowering never touched .sends
+    assert plan.num_sends == 255
+    assert lower_s < 0.5, f"lowering took {lower_s:.3f}s (budget 0.5s)"
+    wall_s, result = time_call(
+        lambda: execute(schedule, transport="inproc", verify=True)
+    )
+    assert result.num_delivered == 255
+    assert schedule.is_array_backed
+    assert wall_s < 5.0, (
+        f"inproc execution of the P=256 broadcast took {wall_s:.3f}s "
+        f"(budget 5.0s)"
+    )
+
+
+def test_recorded_bench_exec_gate():
+    """The committed BENCH_PR9.json must record the headline
+    wall-clock-vs-makespan numbers for the P=256 broadcast on every
+    available transport so regressions show up in review, not just
+    nightly CI."""
+    import json
+
+    path = Path(__file__).resolve().parent.parent / "BENCH_PR9.json"
+    doc = json.loads(path.read_text())
+    rows = [r for r in doc["scenarios"] if r["workload"] == "exec"]
+    assert rows, "BENCH_PR9.json has no exec row"
+    row = rows[0]
+    assert row["P"] == 256
+    assert row["sends"] == 255
+    assert row["makespan_cycles"] > 0
+    assert row["lower_s"] < 0.5
+    assert "inproc" in row["transports"] and "mp" in row["transports"]
+    assert row["exec_inproc_s"] < 5.0
+    assert row["exec_mp_s"] < 10.0
+
+
 def test_recorded_bench_serve_gate():
     """The committed BENCH_PR7.json must record the headline serve
     load-gen numbers so regressions show up in review, not just

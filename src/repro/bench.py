@@ -21,6 +21,12 @@ PR 7 adds the ``serve`` scenario: a Zipf load generator over the plan
 service (:mod:`repro.serve`) measuring cold vs hot plans/sec and the
 cache hit rate under real LRU eviction pressure.
 
+PR 9 adds the ``exec`` scenario: the P=256 optimal broadcast is
+lowered to per-rank programs (:mod:`repro.exec`) and executed on every
+available real transport with simulator verification on, recording
+wall-clock seconds per transport next to the simulated makespan in
+cycles.
+
 Run via ``python -m repro.cli bench`` (or ``make bench``), which writes
 ``BENCH.json`` by default (the checked-in ``BENCH_PR<N>.json`` files
 are per-PR reference baselines; :func:`latest_baseline` picks the
@@ -57,6 +63,7 @@ __all__ = [
     "bench_implicit_lint",
     "serve_request_points",
     "bench_serve",
+    "bench_exec",
     "run_bench",
     "write_bench",
 ]
@@ -476,6 +483,45 @@ def bench_serve(
     }
 
 
+def bench_exec(
+    P: int = 256, L: int = 4, o: int = 1, g: int = 2, repeat: int = 1
+) -> dict[str, Any]:
+    """Lower + execute the optimal broadcast on every available transport.
+
+    PR-9 scenario: the same P-rank broadcast schedule is compiled once
+    to per-rank programs (``lower_s``; columnar fast path, no per-SendOp
+    objects) and then actually run — real sends over real channels —
+    on each transport :func:`repro.exec.available_transports` reports
+    (``exec_<name>_s``), with verification against the simulator's
+    delivered multiset folded into the timed run.  ``makespan_cycles``
+    records the simulated completion time so the row reads as
+    wall-clock vs model time.
+    """
+    from repro.exec import available_transports, execute, lower_schedule
+
+    params = LogPParams(P=P, L=L, o=o, g=g)
+    schedule = registry.plan("broadcast", params, backend="columnar")
+    lower_s, plan = time_call(lambda: lower_schedule(schedule), repeat)
+    row: dict[str, Any] = {
+        "workload": "exec",
+        "P": P,
+        "params": [params.P, params.L, params.o, params.g],
+        "sends": schedule.num_sends,
+        "lower_s": lower_s,
+        "instrs": plan.num_instrs,
+        "makespan_cycles": registry.completion(schedule),
+        "transports": available_transports(),
+    }
+    for name in available_transports():
+        wall_s, result = time_call(
+            lambda name=name: execute(schedule, transport=name, verify=True),
+            repeat,
+        )
+        assert result.num_delivered == schedule.num_sends
+        row[f"exec_{name}_s"] = wall_s
+    return row
+
+
 def run_bench(
     sizes: tuple[int, ...] = (256, 1024, 4096),
     a2a_sizes: tuple[int, ...] = (256, 1024),
@@ -484,6 +530,7 @@ def run_bench(
     implicit_sizes: tuple[int, ...] = (100_000, 1_000_000),
     serve_points: int | None = None,
     serve_draws: int = 16_000,
+    exec_P: int = 256,
     repeat: int = 1,
     verbose: bool = False,
 ) -> dict[str, Any]:
@@ -500,7 +547,9 @@ def run_bench(
                             "transform_np_s", "transform_objects_s",
                             "transform_speedup", "verify_each_s", "lint_s",
                             "cold_plans_per_s", "hot_plans_per_s",
-                            "hot_hit_rate", "hot_speedup")
+                            "hot_hit_rate", "hot_speedup",
+                            "lower_s", "exec_inproc_s", "exec_mp_s",
+                            "exec_mpi_s")
                 if k in row
             ]
             timings = ", ".join(f"{k}={row[k]:.4f}" for k in keys)
@@ -520,10 +569,11 @@ def run_bench(
     for P in implicit_sizes:
         record(bench_implicit_lint(P, repeat=repeat))
     record(bench_serve(points=serve_points, draws=serve_draws))
+    record(bench_exec(exec_P, repeat=repeat))
     import numpy
 
     return {
-        "bench": "PR-7 content-addressed plan cache + batched plan service",
+        "bench": "PR-9 schedule lowering + real-transport execution",
         "baseline": latest_baseline(),
         "command": "python -m repro.cli bench",
         "python": sys.version.split()[0],

@@ -63,6 +63,7 @@ HOT_MODULES = [
     "src/repro/analyze/rules.py",
     "src/repro/analyze/engine.py",
     "src/repro/analyze/chunked.py",
+    "src/repro/exec/lower.py",
 ]
 
 #: Whole packages that must stay free of per-send Python loops.  The
@@ -78,6 +79,7 @@ KEYING_MODULES = [
     "src/repro/schedule/serialize.py",
     "src/repro/serve/keys.py",
     "src/repro/serve/cache.py",
+    "src/repro/exec/trace.py",
 ]
 
 #: Single modules on the CLI-reachable error surface.
@@ -93,6 +95,7 @@ CLI_PACKAGES = [
     "src/repro/passes",
     "src/repro/analyze",
     "src/repro/checkers",
+    "src/repro/exec",
 ]
 
 #: The one module allowed to compare against the dispatch threshold.

@@ -20,6 +20,8 @@ Usage::
     python -m repro.cli opt        --builder all-to-all -P 1024 \
                                    --pipeline "reverse,canonicalize" --verify-each
     python -m repro.cli opt        --list-passes
+    python -m repro.cli run        <schedule.json> [--transport inproc|mp|mpi]
+    python -m repro.cli run        --builder bcast -P 8 -L 6 --o 2 --g 4 --verify
 
 The builder tables behind ``plan``, ``figures`` and ``lint --builder``
 are not written here: they come from the collective registry
@@ -46,6 +48,14 @@ textual pipeline, runs it through the :class:`~repro.passes.PassManager`
 per-pass send/makespan deltas, and can write the result (``--out``) or
 emit the final lint as SARIF (``--format json``).  A verification
 failure exits 1 with a one-line diagnostic.
+
+``run`` leaves the simulator entirely: it lowers the schedule to
+per-rank programs (:mod:`repro.exec`) and executes them on a real
+transport — ``inproc`` threads (deterministic default), ``mp``
+processes, or ``mpi`` when mpi4py is installed.  ``--verify`` replays
+the same schedule on the simulator and asserts the delivered
+(src, dst, item) multisets are byte-identical; divergence or a runtime
+failure (timeout, dead worker) exits 1 with a ``repro: error:`` line.
 
 Usage errors (unknown collective, malformed schedule JSON, conflicting
 inputs, out-of-domain parameters) exit with status 2 after a one-line
@@ -261,6 +271,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         implicit_sizes: tuple[int, ...] = (10_000,)
         serve_points: int | None = 200
         serve_draws = 3_000
+        exec_P = 64
     else:
         sizes, a2a_sizes, kitem, transform_P = (
             (256, 1024, 4096),
@@ -271,7 +282,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         implicit_sizes = (100_000, 1_000_000)
         serve_points = None
         serve_draws = 16_000
-    total = len(sizes) + len(a2a_sizes) + len(implicit_sizes) + 3
+        exec_P = 256
+    total = len(sizes) + len(a2a_sizes) + len(implicit_sizes) + 4
     print(f"running {total} benchmark scenarios...")
     results = run_bench(
         sizes=sizes,
@@ -281,6 +293,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         implicit_sizes=implicit_sizes,
         serve_points=serve_points,
         serve_draws=serve_draws,
+        exec_P=exec_P,
         repeat=args.repeat,
         verbose=True,
     )
@@ -501,6 +514,46 @@ def cmd_opt(args: argparse.Namespace) -> int:
             Severity.parse(args.fail_on)
         ):
             return 1
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Execute a schedule on a real transport (S37)."""
+    from repro.exec import ExecError, TransportUnavailable, execute
+
+    try:
+        schedule = _lint_target(args)
+    except ValueError as exc:
+        return _usage_error(str(exc))
+    try:
+        result = execute(
+            schedule,
+            transport=args.transport,
+            verify=args.verify,
+            timeout=args.timeout,
+        )
+    except (ValueError, TransportUnavailable) as exc:
+        return _usage_error(str(exc))
+    except ExecError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 1
+    params = schedule.params
+    makespan = registry.completion(schedule)
+    print(
+        f"executed {schedule.num_sends} sends across {params.P} ranks "
+        f"on {result.transport}"
+    )
+    print(
+        f"  delivered {result.num_delivered} messages in "
+        f"{result.wall_s * 1e3:.1f} ms wall "
+        f"(simulated makespan: {makespan} cycles at "
+        f"L={params.L}, o={params.o}, g={params.g})"
+    )
+    if args.verify:
+        print(
+            "  verified: delivered multiset matches the simulator "
+            "byte-for-byte"
+        )
     return 0
 
 
@@ -782,6 +835,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="list the registered passes and exit",
     )
     p.set_defaults(func=cmd_opt)
+
+    p = sub.add_parser(
+        "run", help="execute a schedule on a real transport"
+    )
+    p.add_argument(
+        "schedule",
+        nargs="?",
+        default=None,
+        help="schedule JSON file (logp-schedule/1); omit when using --builder",
+    )
+    p.add_argument(
+        "--builder",
+        metavar="NAME",
+        help=(
+            "execute a freshly built paper schedule instead of a file; "
+            "any registered collective name or alias "
+            f"({', '.join(registry.spec_names())})"
+        ),
+    )
+    p.add_argument("-P", "--P", type=int, default=8, help="processors (builders)")
+    p.add_argument("-L", "--L", type=int, default=6, help="latency (builders)")
+    p.add_argument("--o", type=int, default=0, help="overhead (builders)")
+    p.add_argument("--g", type=int, default=1, help="gap (builders)")
+    p.add_argument("--k", type=int, default=4, help="items (kitem builder)")
+    p.add_argument("--n", type=int, default=32, help="operands (summation builder)")
+    p.add_argument("--t", type=int, default=None, help="time budget (summation)")
+    p.add_argument(
+        "--transport",
+        choices=("inproc", "mp", "mpi"),
+        default="inproc",
+        help="execution backend (default: inproc threads)",
+    )
+    p.add_argument(
+        "--verify",
+        action="store_true",
+        help=(
+            "assert the delivered (src, dst, item) multiset matches the "
+            "simulator byte-for-byte"
+        ),
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="per-run wall-clock deadline (default: 30)",
+    )
+    p.set_defaults(func=cmd_run)
 
     return parser
 

@@ -8,11 +8,13 @@ Two layers:
   ``alltoall`` — each built from the paper's optimal construction and
   replayed on the LogP validator before being returned.
 
-* :class:`VirtualCluster` — executes those plans on actual Python values,
-  message by message, returning both the per-processor results and the
-  cycle-accurate elapsed time.  This is the "does it really work"
-  layer: the data movement follows the schedule exactly, so a wrong
-  schedule produces wrong data, not just a wrong time.
+* :class:`VirtualCluster` — executes those plans on actual Python values
+  through the :mod:`repro.exec` stack (lowered to per-rank programs and
+  run on a real transport, ``inproc`` by default), returning both the
+  per-processor results and the cycle-accurate elapsed time.  This is
+  the "does it really work" layer: the data movement follows the
+  schedule exactly, so a wrong schedule produces wrong data, not just a
+  wrong time.
 
 Example::
 
@@ -27,7 +29,7 @@ Example::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from repro.core.all_to_all import (
     all_to_all_personalized_schedule,
@@ -43,6 +45,9 @@ from repro.params import LogPParams
 from repro.schedule.analysis import completion_time
 from repro.schedule.ops import Schedule, SendOp
 from repro.sim.machine import replay
+
+if TYPE_CHECKING:
+    from repro.exec.run import ExecResult
 
 __all__ = ["Plan", "Communicator", "VirtualCluster"]
 
@@ -365,36 +370,70 @@ def embed_plan(
 class VirtualCluster:
     """Executes collective plans on real Python values.
 
-    Data strictly follows the plan's messages: each :class:`SendOp` moves
-    the value it names, receptions happen at the model's arrival times,
-    and reductions fold with the user's operator in arrival order.
+    A thin front end over :mod:`repro.exec`: every collective lowers
+    its plan's schedule to per-rank programs and runs them on a real
+    transport (``backend="inproc"`` by default — threads and queues,
+    deterministic).  Data strictly follows the plan's messages: each
+    send moves the value it names, matched receives deliver it, and
+    reductions fold with the user's operator in arrival order — so a
+    wrong schedule produces wrong data, not just a wrong time.
+
+    The reported cycle counts still come from the *model* (the plan's
+    analysis), never from wall clocks.
     """
 
-    def __init__(self, params: LogPParams):
+    def __init__(
+        self,
+        params: LogPParams,
+        backend: str = "inproc",
+        timeout: float = 30.0,
+    ):
         self.params = params
         self.comm = Communicator(params)
+        self.backend = backend
+        self.timeout = timeout
+
+    def _execute(
+        self,
+        plan: Plan,
+        *,
+        payloads: dict[int, dict[Any, Any]] | None = None,
+        combine: Callable[[Any, Any], Any] | None = None,
+        accumulators: dict[int, Any] | None = None,
+    ) -> "ExecResult":
+        from repro.exec import execute
+
+        return execute(
+            plan.schedule,
+            transport=self.backend,
+            payloads=payloads,
+            combine=combine,
+            accumulators=accumulators,
+            timeout=self.timeout,
+        )
 
     # -- data-movement collectives ----------------------------------------
 
     def bcast(self, value: Any, root: int = 0) -> tuple[list[Any], int]:
         plan = self.comm.bcast(root)
-        results: list[Any] = [None] * self.params.P
-        results[root] = value
-        for op in plan.schedule.sorted_sends():
-            results[op.dst] = results[op.src]
+        item = ("bcast", root)
+        result = self._execute(plan, payloads={root: {item: value}})
+        results = [result.values[p][item] for p in range(self.params.P)]
         return results, plan.cycles
 
     def kitem_bcast(
         self, values: Sequence[Any], root: int = 0
     ) -> tuple[list[list[Any]], int]:
         plan = self.comm.kitem_bcast(len(values), root)
-        results: list[dict[int, Any]] = [dict() for _ in range(self.params.P)]
-        results[root] = {i: v for i, v in enumerate(values)}
-        for op in plan.schedule.sorted_sends():
-            (_tag, index) = op.item
-            results[op.dst][index] = results[op.src][index]
+        result = self._execute(
+            plan,
+            payloads={
+                root: {("kbcast", i): v for i, v in enumerate(values)}
+            },
+        )
         ordered = [
-            [results[p][i] for i in range(len(values))] for p in range(self.params.P)
+            [result.values[p][("kbcast", i)] for i in range(len(values))]
+            for p in range(self.params.P)
         ]
         return ordered, plan.cycles
 
@@ -402,32 +441,51 @@ class VirtualCluster:
         if len(values) != self.params.P:
             raise ValueError(f"scatter needs P={self.params.P} values")
         plan = self.comm.scatter(root)
-        results: list[Any] = [None] * self.params.P
-        results[root] = values[root]
-        for op in plan.schedule.sorted_sends():
-            (_tag, dst) = op.item
-            results[dst] = values[dst]
-        return results, plan.cycles
+        result = self._execute(
+            plan,
+            payloads={
+                root: {
+                    ("scatter", dst): values[dst]
+                    for dst in range(self.params.P)
+                    if dst != root
+                }
+            },
+        )
+        return [
+            values[root] if p == root else result.values[p][("scatter", p)]
+            for p in range(self.params.P)
+        ], plan.cycles
 
     def gather(self, values: Sequence[Any], root: int = 0) -> tuple[list[Any], int]:
         if len(values) != self.params.P:
             raise ValueError(f"gather needs P={self.params.P} values")
         plan = self.comm.gather(root)
-        collected = list(values)  # root ends with everything, by plan construction
-        return collected, plan.cycles
+        result = self._execute(
+            plan,
+            payloads={
+                p: {("gather", p): values[p]}
+                for p in range(self.params.P)
+                if p != root
+            },
+        )
+        root_store = result.values[root]
+        return [
+            values[p] if p == root else root_store[("gather", p)]
+            for p in range(self.params.P)
+        ], plan.cycles
 
     def allgather(self, values: Sequence[Any]) -> tuple[list[list[Any]], int]:
         if len(values) != self.params.P:
             raise ValueError(f"allgather needs P={self.params.P} values")
         plan = self.comm.allgather()
-        results: list[dict[int, Any]] = [
-            {p: values[p]} for p in range(self.params.P)
-        ]
-        for op in plan.schedule.sorted_sends():
-            (_tag, src) = op.item
-            results[op.dst][src] = values[src]
+        result = self._execute(
+            plan,
+            payloads={
+                p: {("a2a", p): values[p]} for p in range(self.params.P)
+            },
+        )
         ordered = [
-            [results[p][q] for q in range(self.params.P)]
+            [result.values[p][("a2a", q)] for q in range(self.params.P)]
             for p in range(self.params.P)
         ]
         return ordered, plan.cycles
@@ -437,13 +495,22 @@ class VirtualCluster:
         if len(matrix) != P or any(len(row) != P for row in matrix):
             raise ValueError(f"alltoall needs a {P}x{P} matrix")
         plan = self.comm.alltoall()
-        results: list[dict[int, Any]] = [
-            {p: matrix[p][p]} for p in range(P)
+        result = self._execute(
+            plan,
+            payloads={
+                i: {
+                    ("p2p", i, j): matrix[i][j] for j in range(P) if j != i
+                }
+                for i in range(P)
+            },
+        )
+        ordered = [
+            [
+                matrix[p][p] if q == p else result.values[p][("p2p", q, p)]
+                for q in range(P)
+            ]
+            for p in range(P)
         ]
-        for op in plan.schedule.sorted_sends():
-            (_tag, src, dst) = op.item
-            results[dst][src] = matrix[src][dst]
-        ordered = [[results[p][q] for q in range(P)] for p in range(P)]
         return ordered, plan.cycles
 
     # -- reductions ----------------------------------------------------------
@@ -457,10 +524,15 @@ class VirtualCluster:
         if len(values) != self.params.P:
             raise ValueError(f"reduce needs P={self.params.P} values")
         plan = self.comm.reduce(root)
-        partial: list[Any] = list(values)
-        for send in plan.schedule.sorted_sends():
-            partial[send.dst] = op(partial[send.dst], partial[send.src])
-        return partial[root], plan.cycles
+        # combine mode: every delivery folds into the receiver's running
+        # accumulator in arrival order, every send ships the current
+        # value — the execution-side meaning of the reversal schedule
+        result = self._execute(
+            plan,
+            combine=op,
+            accumulators={p: values[p] for p in range(self.params.P)},
+        )
+        return result.values[root], plan.cycles
 
     def allreduce(
         self,
@@ -472,23 +544,15 @@ class VirtualCluster:
             raise ValueError(f"allreduce needs P={P} values")
         plan = self.comm.allreduce()
         if plan.meta.get("algorithm") == "combining":
-            # replay the combining algorithm on real data: each message
-            # carries the sender's running value at send time
-            pending: dict[int, list[tuple[int, Any]]] = {}
-            current = list(values)
-            sends = plan.schedule.sorted_sends()
-            by_time: dict[int, list] = {}
-            for s in sends:
-                by_time.setdefault(s.time, []).append(s)
-            T = plan.cycles
-            for step in range(T + 1):
-                for dst, payload in pending.pop(step, []):
-                    current[dst] = op(current[dst], payload)
-                for s in by_time.get(step, ()):
-                    pending.setdefault(step + self.params.L, []).append(
-                        (s.dst, current[s.src])
-                    )
-            return current, plan.cycles
+            # the combining schedule on real data: each message carries
+            # the sender's running value at send time, which is exactly
+            # combine mode's send-the-accumulator semantics
+            result = self._execute(
+                plan,
+                combine=op,
+                accumulators={p: values[p] for p in range(P)},
+            )
+            return [result.values[p] for p in range(P)], plan.cycles
         total, _ = self.reduce(values, op, root=0)
         results, _ = self.bcast(total, root=0)
         return results, plan.cycles

@@ -1,0 +1,164 @@
+"""The per-rank program interpreter shared by every transport.
+
+A transport's job is only to move ``(src, item_code, payload)``
+envelopes between ranks; *what a rank does* — the instruction walk,
+matched-receive buffering, payload stores and reduction folds — lives
+here once, so ``inproc``, ``mp`` and ``mpi`` cannot drift apart
+semantically.
+
+Two payload disciplines:
+
+* **store mode** (default): each rank keeps ``{item_code: payload}``;
+  sends read the store, receives write it, reductions fold operand
+  payloads with ``reduce_op``.  With no payloads given, every item's
+  payload is its own code — "token mode", enough to drive and trace
+  the full message pattern.
+* **combine mode** (``combine`` given): the rank keeps one running
+  accumulator seeded from ``accumulator``; every receive folds into
+  it and every send ships its current value.  This is the semantics
+  of the paper's reduction/combining schedules, where an item name
+  identifies a *slot* in the combining tree, not a distinct datum.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from collections import deque
+from typing import Any, Callable, Protocol
+
+from repro.exec.program import KIND_RECV, KIND_SEND, RankProgram
+
+__all__ = ["Endpoint", "RankOutcome", "RankBlocked", "run_rank"]
+
+Envelope = tuple[int, int, Any]  # (src rank, item code, payload)
+
+
+class Endpoint(Protocol):
+    """A rank's view of the transport: point-to-point send + blocking
+    receive of the next inbound envelope (any source)."""
+
+    def send(self, dst: int, envelope: Envelope) -> None: ...
+
+    def recv(self, timeout: float) -> Envelope | None:
+        """Next inbound envelope, or ``None`` on timeout."""
+        ...
+
+
+class RankBlocked(Exception):
+    """Internal signal: a rank's matched receive hit the deadline.
+
+    Transports convert the collected signals into one
+    :class:`~repro.exec.errors.ExecTimeout` with the simulator's
+    blocked-rank formatting; this exception never escapes the package.
+    """
+
+    def __init__(
+        self, rank: int, instr: int, total: int, src: int, code: int
+    ) -> None:
+        super().__init__(
+            f"rank {rank} blocked at instruction {instr + 1}/{total}"
+        )
+        self.rank = rank
+        self.instr = instr
+        self.total = total
+        self.src = src
+        self.code = code
+
+
+class RankOutcome:
+    """What one rank produced: delivered ``(src, code)`` pairs in
+    program order, plus its final store or accumulator."""
+
+    __slots__ = ("rank", "delivered", "value")
+
+    def __init__(
+        self, rank: int, delivered: list[tuple[int, int]], value: Any
+    ) -> None:
+        self.rank = rank
+        self.delivered = delivered
+        self.value = value
+
+
+def run_rank(
+    rank: int,
+    program: RankProgram,
+    endpoint: Endpoint,
+    *,
+    store: dict[int, Any],
+    combine: Callable[[Any, Any], Any] | None,
+    accumulator: Any,
+    reduce_op: Callable[[Any, Any], Any] | None,
+    deadline: float,
+) -> RankOutcome:
+    """Execute one rank's program to completion.
+
+    Raises :class:`RankBlocked` when a matched receive outlives the
+    absolute ``deadline`` (``time.monotonic()`` clock).
+    """
+    kinds = program.kinds
+    peers = program.peers
+    items = program.items
+    total = len(program)
+    delivered: list[tuple[int, int]] = []
+    # unmatched envelopes, keyed (src, code); a deque holds duplicates
+    # (the same pair may legitimately be sent more than once)
+    pending: dict[tuple[int, int], deque[Any]] = {}
+    for i in range(total):
+        kind = int(kinds[i])
+        if kind == KIND_SEND:
+            code = int(items[i])
+            payload = accumulator if combine is not None else store[code]
+            endpoint.send(int(peers[i]), (rank, code, payload))
+        elif kind == KIND_RECV:
+            want = (int(peers[i]), int(items[i]))
+            payload = _matched_recv(
+                pending, endpoint, want, rank, i, total, deadline
+            )
+            delivered.append(want)
+            if combine is not None:
+                accumulator = combine(accumulator, payload)
+            else:
+                store[want[1]] = payload
+        else:  # KIND_REDUCE
+            code = int(items[i])
+            # ambient local operands (never received or produced) fall
+            # back to their token value unless the caller seeded them
+            operand_payloads = [
+                store.get(c, c) for c in program.reduce_operands[i]
+            ]
+            if reduce_op is not None:
+                store[code] = functools.reduce(reduce_op, operand_payloads)
+            else:
+                store[code] = code  # token mode: the result is its name
+    return RankOutcome(
+        rank, delivered, accumulator if combine is not None else store
+    )
+
+
+def _matched_recv(
+    pending: dict[tuple[int, int], deque[Any]],
+    endpoint: Endpoint,
+    want: tuple[int, int],
+    rank: int,
+    instr: int,
+    total: int,
+    deadline: float,
+) -> Any:
+    queue = pending.get(want)
+    if queue:
+        payload = queue.popleft()
+        if not queue:
+            del pending[want]
+        return payload
+    while True:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise RankBlocked(rank, instr, total, want[0], want[1])
+        envelope = endpoint.recv(min(remaining, 0.2))
+        if envelope is None:
+            continue
+        src, code, payload = envelope
+        if (src, code) == want:
+            return payload
+        pending.setdefault((src, code), deque()).append(payload)

@@ -1,0 +1,221 @@
+"""Per-rank executable programs: the target IR of ``repro.exec.lower``.
+
+A :class:`RankProgram` is an ordered instruction stream for one rank —
+sends, matched receives and local reductions — with *data dependencies*
+instead of LogP times: a ``SendInstr`` names the index of the
+instruction that produced its item (``dep``), or ``-1`` when the item
+is initially held.  Times are a property of the *model*; programs are
+what a real transport can run, where only ordering and matching are
+enforceable.
+
+Storage follows the schedule IR's columnar discipline: a program is
+four parallel int64/int8 arrays (kind, peer, item code, dep) plus a
+sparse side table for reduction operands, and the per-instruction
+dataclasses (:class:`SendInstr` / :class:`RecvInstr` /
+:class:`ReduceInstr`) are materialized lazily, for inspection and
+tests only — never on the execution hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.params import LogPParams
+from repro.schedule.columnar import ItemTable
+from repro.schedule.ops import Item
+
+__all__ = [
+    "KIND_RECV",
+    "KIND_REDUCE",
+    "KIND_SEND",
+    "SendInstr",
+    "RecvInstr",
+    "ReduceInstr",
+    "Instr",
+    "RankProgram",
+    "ExecPlan",
+]
+
+# Kind codes double as same-time priorities during lowering: a payload
+# must be received (0) and folded (1) before any send (2) that depends
+# on it at the same cycle.
+KIND_RECV = 0
+KIND_REDUCE = 1
+KIND_SEND = 2
+
+_KIND_NAMES = {KIND_RECV: "recv", KIND_REDUCE: "reduce", KIND_SEND: "send"}
+
+
+@dataclass(frozen=True, slots=True)
+class SendInstr:
+    """Send ``item`` to rank ``dst``; ``dep`` is the index of the
+    producing instruction in this program (``-1`` = initially held)."""
+
+    dst: int
+    item: Item
+    dep: int
+
+
+@dataclass(frozen=True, slots=True)
+class RecvInstr:
+    """Block until the matching ``(src, item)`` message is delivered."""
+
+    src: int
+    item: Item
+
+
+@dataclass(frozen=True, slots=True)
+class ReduceInstr:
+    """Fold ``operands`` (already available locally) into ``result``."""
+
+    result: Item
+    operands: tuple[Item, ...]
+
+
+Instr = SendInstr | RecvInstr | ReduceInstr
+
+
+class RankProgram:
+    """Frozen instruction stream for one rank (struct-of-arrays)."""
+
+    __slots__ = (
+        "rank",
+        "kinds",
+        "peers",
+        "items",
+        "deps",
+        "reduce_operands",
+        "_table",
+        "_instrs",
+    )
+
+    def __init__(
+        self,
+        rank: int,
+        kinds: np.ndarray,
+        peers: np.ndarray,
+        items: np.ndarray,
+        deps: np.ndarray,
+        reduce_operands: Mapping[int, tuple[int, ...]],
+        table: ItemTable,
+    ) -> None:
+        self.rank = rank
+        self.kinds = kinds
+        self.peers = peers
+        self.items = items
+        self.deps = deps
+        self.reduce_operands = dict(reduce_operands)
+        self._table = table
+        self._instrs: tuple[Instr, ...] | None = None
+        for column in (kinds, peers, items, deps):
+            column.setflags(write=False)
+
+    def __len__(self) -> int:
+        return int(self.kinds.shape[0])
+
+    @property
+    def num_sends(self) -> int:
+        return int(np.count_nonzero(self.kinds == KIND_SEND))
+
+    @property
+    def num_recvs(self) -> int:
+        return int(np.count_nonzero(self.kinds == KIND_RECV))
+
+    def instructions(self) -> tuple[Instr, ...]:
+        """Materialized instruction objects (lazy; inspection only)."""
+        if self._instrs is None:
+            decode = self._table.decode
+            out: list[Instr] = []
+            for i in range(len(self)):
+                kind = int(self.kinds[i])
+                if kind == KIND_SEND:
+                    out.append(
+                        SendInstr(
+                            dst=int(self.peers[i]),
+                            item=decode(int(self.items[i])),
+                            dep=int(self.deps[i]),
+                        )
+                    )
+                elif kind == KIND_RECV:
+                    out.append(
+                        RecvInstr(
+                            src=int(self.peers[i]),
+                            item=decode(int(self.items[i])),
+                        )
+                    )
+                else:
+                    operands = self.reduce_operands[i]
+                    out.append(
+                        ReduceInstr(
+                            result=decode(int(self.items[i])),
+                            operands=tuple(decode(c) for c in operands),
+                        )
+                    )
+            self._instrs = tuple(out)
+        return self._instrs
+
+    def __iter__(self) -> Iterator[Instr]:
+        return iter(self.instructions())
+
+    def __repr__(self) -> str:
+        counts = {
+            name: int(np.count_nonzero(self.kinds == kind))
+            for kind, name in _KIND_NAMES.items()
+        }
+        body = ", ".join(f"{n}={c}" for n, c in counts.items() if c)
+        return f"RankProgram(rank={self.rank}, {body or 'empty'})"
+
+
+class ExecPlan:
+    """A lowered schedule: one :class:`RankProgram` per participating
+    rank, a shared item table, and the initial item placement (codes).
+
+    ``num_ranks`` is the machine size ``P``; ranks with no instructions
+    and no initial items simply have empty programs.
+    """
+
+    __slots__ = ("params", "table", "programs", "initial", "num_sends")
+
+    def __init__(
+        self,
+        params: LogPParams,
+        table: ItemTable,
+        programs: Mapping[int, RankProgram],
+        initial: Mapping[int, tuple[int, ...]],
+        num_sends: int,
+    ) -> None:
+        self.params = params
+        self.table = table
+        self.programs = dict(programs)
+        self.initial = {r: tuple(codes) for r, codes in initial.items()}
+        self.num_sends = num_sends
+
+    @property
+    def num_ranks(self) -> int:
+        return self.params.P
+
+    @property
+    def num_instrs(self) -> int:
+        return sum(len(p) for p in self.programs.values())
+
+    def program(self, rank: int) -> RankProgram:
+        prog = self.programs.get(rank)
+        if prog is None:
+            raise KeyError(f"no program lowered for rank {rank}")
+        return prog
+
+    def encode(self, item: Item) -> int:
+        """Item -> dense code in this plan's shared table."""
+        code = self.table.codes.get(item)
+        if code is None:
+            raise KeyError(f"item {item!r} does not appear in this plan")
+        return code
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecPlan(P={self.params.P}, ranks={len(self.programs)}, "
+            f"instrs={self.num_instrs}, sends={self.num_sends})"
+        )

@@ -1,0 +1,142 @@
+"""Delivered-items traces and exec-vs-simulator verification.
+
+An :class:`ExecTrace` records what a real transport actually delivered
+— the multiset of ``(src, dst, item)`` triples — in the same canonical
+JSON shape the simulator's realized schedule reduces to, so the two
+can be compared *byte for byte*: :func:`verify_against_sim` renders
+both sides with the schedule serializer's item encoding and
+``CANONICAL_DUMPS`` and asserts equality.
+
+This is a keying module (REPRO005/006): every ``json.dumps`` is
+canonical and nothing here may consult clocks or randomness — a trace
+for a given execution outcome is one exact byte sequence.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any
+
+from repro.exec.errors import ExecVerificationError
+from repro.params import LogPParams
+from repro.schedule.ops import Item, Schedule
+from repro.schedule.serialize import CANONICAL_DUMPS, encode_item
+
+__all__ = [
+    "TRACE_FORMAT",
+    "ExecTrace",
+    "delivered_json",
+    "sim_delivered",
+    "verify_against_sim",
+]
+
+TRACE_FORMAT = "logp-exec-trace/1"
+
+Triple = tuple[int, int, Item]
+
+
+def _triple_doc(triple: Triple) -> list[Any]:
+    src, dst, item = triple
+    return [src, dst, encode_item(item)]
+
+
+def _triple_key(triple: Triple) -> tuple[int, int, str]:
+    src, dst, item = triple
+    return (src, dst, json.dumps(encode_item(item), **CANONICAL_DUMPS))
+
+
+def delivered_json(params: LogPParams, triples: list[Triple]) -> str:
+    """Canonical JSON of a delivered multiset.
+
+    The triples are sorted by ``(src, dst, canonical item JSON)``, so
+    any two executions delivering the same multiset — simulator or real
+    transport, any thread interleaving — produce identical bytes.
+    """
+    payload = {
+        "format": TRACE_FORMAT,
+        "params": {
+            "P": params.P,
+            "L": params.L,
+            "o": params.o,
+            "g": params.g,
+        },
+        "delivered": [
+            _triple_doc(t) for t in sorted(triples, key=_triple_key)
+        ],
+    }
+    return json.dumps(payload, **CANONICAL_DUMPS)
+
+
+@dataclass(frozen=True)
+class ExecTrace:
+    """What one execution delivered, plus which transport ran it."""
+
+    params: LogPParams
+    transport: str
+    delivered: tuple[Triple, ...]
+
+    @property
+    def num_delivered(self) -> int:
+        return len(self.delivered)
+
+    def to_json(self) -> str:
+        """Canonical JSON (transport-independent by design: the same
+        plan on ``inproc`` and ``mp`` must yield identical bytes)."""
+        return delivered_json(self.params, list(self.delivered))
+
+
+def sim_delivered(schedule: Schedule) -> list[Triple]:
+    """The simulator's delivered multiset for a schedule.
+
+    For a schedule that passes the LogP validator, the realized
+    execution delivers exactly one ``(src, dst, item)`` per send — this
+    reads it off the columnar storage without materializing ``SendOp``
+    objects.  Invalid schedules are rejected first (``ValueError`` from
+    the validator), so the result genuinely is what :func:`replay`
+    would realize.
+    """
+    from repro.sim.validate_np import violations_np
+
+    problems = violations_np(schedule)
+    if problems:
+        raise ValueError(
+            f"schedule is not a legal LogP execution "
+            f"({len(problems)} violation(s)); first: {problems[0]}"
+        )
+    cols = schedule.columns()
+    items = cols.table.items
+    return [
+        (int(src), int(dst), items[int(code)])
+        for src, dst, code in zip(cols.srcs, cols.dsts, cols.items)
+    ]
+
+
+def verify_against_sim(schedule: Schedule, trace: ExecTrace) -> None:
+    """Assert the trace's delivered multiset matches the simulator's,
+    byte for byte in canonical form.
+
+    Raises :class:`ExecVerificationError` with a counted diff (missing
+    and unexpected triples) on divergence.
+    """
+    expected = delivered_json(schedule.params, sim_delivered(schedule))
+    actual = trace.to_json()
+    if expected == actual:
+        return
+    want = Counter(_triple_key(t) for t in sim_delivered(schedule))
+    got = Counter(_triple_key(t) for t in trace.delivered)
+    missing = want - got
+    extra = got - want
+    parts = [
+        f"delivered multiset diverges from the simulator on "
+        f"{trace.transport}: {sum(missing.values())} missing, "
+        f"{sum(extra.values())} unexpected"
+    ]
+    if missing:
+        src, dst, item = min(missing)
+        parts.append(f"first missing: {src} -> {dst} item {item}")
+    if extra:
+        src, dst, item = min(extra)
+        parts.append(f"first unexpected: {src} -> {dst} item {item}")
+    raise ExecVerificationError("; ".join(parts))

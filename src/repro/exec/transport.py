@@ -1,0 +1,607 @@
+"""Transports: move envelopes between ranks, nothing more.
+
+Three implementations of the one-method-deep :class:`Transport`
+protocol:
+
+* ``inproc`` — one thread + one queue per rank, always available,
+  deterministic results (payload folds happen in program order, so
+  thread scheduling cannot change any outcome).
+* ``mp`` — real OS processes.  Ranks are multiplexed onto a small
+  worker pool (one inbound ``multiprocessing.Queue`` per worker, a
+  dispatcher thread routing to rank-local queues), so ``P`` can exceed
+  the core count by orders of magnitude.
+* ``mpi`` — one program per MPI rank via mpi4py; constructing it
+  without mpi4py raises :class:`TransportUnavailable` so callers and
+  test suites skip cleanly.
+
+Rank semantics (instruction walk, matched receives, folds) live in
+:mod:`repro.exec.engine`; a hung execution surfaces as one
+:class:`ExecTimeout` whose message reuses the simulator's blocked-rank
+formatting (:func:`repro.sim.machine.format_blocked`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+import threading
+import time
+from typing import Any, Callable, Iterable, Protocol
+
+from repro.exec.engine import Envelope, RankBlocked, RankOutcome, run_rank
+from repro.exec.errors import ExecError, ExecTimeout, TransportUnavailable
+from repro.exec.program import ExecPlan
+from repro.sim.machine import format_blocked, format_rank_set
+
+__all__ = [
+    "Transport",
+    "TransportRun",
+    "InprocTransport",
+    "MpTransport",
+    "MpiTransport",
+    "get_transport",
+    "available_transports",
+]
+
+# extra wall-clock slack the parent allows workers beyond the rank
+# deadline before declaring the pool unresponsive
+_GRACE_S = 10.0
+
+Combine = Callable[[Any, Any], Any]
+
+
+class TransportRun:
+    """Raw transport output: per-rank delivered pairs + final values."""
+
+    __slots__ = ("delivered", "values")
+
+    def __init__(
+        self,
+        delivered: dict[int, list[tuple[int, int]]],
+        values: dict[int, Any],
+    ) -> None:
+        self.delivered = delivered
+        self.values = values
+
+
+class Transport(Protocol):
+    """Executes every rank program of a plan and reports the outcome."""
+
+    name: str
+
+    def run(
+        self,
+        plan: ExecPlan,
+        *,
+        stores: dict[int, dict[int, Any]],
+        combine: Combine | None,
+        accumulators: dict[int, Any],
+        reduce_op: Combine | None,
+        timeout: float,
+    ) -> TransportRun: ...
+
+
+def _raise_blocked(
+    plan: ExecPlan,
+    blocked: list[RankBlocked],
+    transport: str,
+    timeout: float,
+) -> None:
+    blocked = sorted(blocked, key=lambda b: b.rank)
+    first = blocked[0]
+    first_item = plan.table.decode(first.code)
+    waiters = [
+        (
+            b.rank,
+            f"rank {b.rank} waits to receive item "
+            f"{plan.table.decode(b.code)!r} from rank {b.src} "
+            f"(instruction {b.instr + 1}/{b.total})",
+        )
+        for b in blocked
+    ]
+    raise ExecTimeout(
+        format_blocked(
+            f"timeout: {transport} transport hit the {timeout:.1f}s "
+            f"deadline; earliest blocked receive: rank {first.rank} <- "
+            f"rank {first.src}, item {first_item!r}",
+            waiters,
+            total_ranks=plan.num_ranks,
+        )
+    )
+
+
+class _QueueEndpoint:
+    """Inproc endpoint: direct put into the destination rank's queue."""
+
+    __slots__ = ("_inboxes", "_inbox")
+
+    def __init__(
+        self, inboxes: dict[int, "queue.Queue[Envelope]"], rank: int
+    ) -> None:
+        self._inboxes = inboxes
+        self._inbox = inboxes[rank]
+
+    def send(self, dst: int, envelope: Envelope) -> None:
+        self._inboxes[dst].put(envelope)
+
+    def recv(self, timeout: float) -> Envelope | None:
+        try:
+            return self._inbox.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+
+def _run_rank_group(
+    plan: ExecPlan,
+    ranks: Iterable[int],
+    endpoint_of: Callable[[int], Any],
+    *,
+    stores: dict[int, dict[int, Any]],
+    combine: Combine | None,
+    accumulators: dict[int, Any],
+    reduce_op: Combine | None,
+    deadline: float,
+) -> tuple[dict[int, RankOutcome], list[RankBlocked], dict[int, Exception]]:
+    """Run a set of rank programs on threads; collect the outcomes.
+
+    Shared helper for the inproc transport (all ranks) and each mp
+    worker (its slice of ranks).  Dict writes are per-key from distinct
+    threads, so no locking is needed.
+    """
+    outcomes: dict[int, RankOutcome] = {}
+    blocked: list[RankBlocked] = []
+    failures: dict[int, Exception] = {}
+
+    def target(rank: int) -> None:
+        try:
+            outcomes[rank] = run_rank(
+                rank,
+                plan.program(rank),
+                endpoint_of(rank),
+                store=stores.get(rank, {}),
+                combine=combine,
+                accumulator=accumulators.get(rank),
+                reduce_op=reduce_op,
+                deadline=deadline,
+            )
+        except RankBlocked as exc:
+            blocked.append(exc)
+        except Exception as exc:  # pragma: no cover - defensive
+            failures[rank] = exc
+
+    threads = [
+        threading.Thread(target=target, args=(rank,), daemon=True)
+        for rank in ranks
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=max(deadline - time.monotonic(), 0.0) + 2.0)
+    return outcomes, blocked, failures
+
+
+class InprocTransport:
+    """Threads + queues in this process; the always-available default."""
+
+    name = "inproc"
+
+    def run(
+        self,
+        plan: ExecPlan,
+        *,
+        stores: dict[int, dict[int, Any]],
+        combine: Combine | None,
+        accumulators: dict[int, Any],
+        reduce_op: Combine | None,
+        timeout: float,
+    ) -> TransportRun:
+        deadline = time.monotonic() + timeout
+        inboxes: dict[int, "queue.Queue[Envelope]"] = {
+            rank: queue.Queue() for rank in plan.programs
+        }
+        outcomes, blocked, failures = _run_rank_group(
+            plan,
+            sorted(plan.programs),
+            lambda rank: _QueueEndpoint(inboxes, rank),
+            stores=stores,
+            combine=combine,
+            accumulators=accumulators,
+            reduce_op=reduce_op,
+            deadline=deadline,
+        )
+        if failures:
+            rank = min(failures)
+            raise ExecError(
+                f"inproc transport: rank {rank} failed: {failures[rank]}"
+            ) from failures[rank]
+        if blocked:
+            _raise_blocked(plan, blocked, self.name, timeout)
+        return TransportRun(
+            delivered={r: o.delivered for r, o in outcomes.items()},
+            values={r: o.value for r, o in outcomes.items()},
+        )
+
+
+def _mp_context() -> Any:
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else methods[0]
+    )
+
+
+class _MpEndpoint:
+    """mp endpoint: cross-worker sends go over the destination worker's
+    inbound process queue, tagged with the destination rank."""
+
+    __slots__ = ("_rank", "_worker_queues", "_rank_to_worker", "_local")
+
+    def __init__(
+        self,
+        rank: int,
+        worker_queues: list[Any],
+        rank_to_worker: dict[int, int],
+        local: "queue.Queue[Envelope]",
+    ) -> None:
+        self._rank = rank
+        self._worker_queues = worker_queues
+        self._rank_to_worker = rank_to_worker
+        self._local = local
+
+    def send(self, dst: int, envelope: Envelope) -> None:
+        self._worker_queues[self._rank_to_worker[dst]].put((dst, envelope))
+
+    def recv(self, timeout: float) -> Envelope | None:
+        try:
+            return self._local.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+
+def _mp_worker_main(
+    worker_id: int,
+    ranks: list[int],
+    plan: ExecPlan,
+    rank_to_worker: dict[int, int],
+    worker_queues: list[Any],
+    result_queue: Any,
+    stores: dict[int, dict[int, Any]],
+    combine: Combine | None,
+    accumulators: dict[int, Any],
+    reduce_op: Combine | None,
+    timeout: float,
+    fault_ranks: frozenset[int],
+) -> None:
+    """Entry point of one mp worker process: run its rank slice on
+    threads, route inbound envelopes via a dispatcher thread, and report
+    one ``(worker_id, status, payload)`` result."""
+    if any(rank in fault_ranks for rank in ranks):
+        os._exit(17)  # fault injection for the failure-path tests
+    deadline = time.monotonic() + timeout
+    inbox = worker_queues[worker_id]
+    local: dict[int, "queue.Queue[Envelope]"] = {
+        rank: queue.Queue() for rank in ranks
+    }
+
+    def dispatch() -> None:
+        # daemon thread: swallow queue teardown noise at process exit
+        try:
+            while True:
+                message = inbox.get()
+                if message is None:
+                    return
+                dst, envelope = message
+                local[dst].put(envelope)
+        except (EOFError, OSError, ValueError, TypeError):
+            return
+
+    dispatcher = threading.Thread(target=dispatch, daemon=True)
+    dispatcher.start()
+    outcomes, blocked, failures = _run_rank_group(
+        plan,
+        ranks,
+        lambda rank: _MpEndpoint(
+            rank, worker_queues, rank_to_worker, local[rank]
+        ),
+        stores=stores,
+        combine=combine,
+        accumulators=accumulators,
+        reduce_op=reduce_op,
+        deadline=deadline,
+    )
+    inbox.put(None)
+    if failures:
+        rank = min(failures)
+        result_queue.put(
+            (worker_id, "error", f"rank {rank} failed: {failures[rank]}")
+        )
+    elif blocked:
+        result_queue.put(
+            (
+                worker_id,
+                "blocked",
+                [(b.rank, b.instr, b.total, b.src, b.code) for b in blocked],
+            )
+        )
+    else:
+        result_queue.put(
+            (
+                worker_id,
+                "ok",
+                {r: (o.delivered, o.value) for r, o in outcomes.items()},
+            )
+        )
+
+
+class MpTransport:
+    """Real OS processes; ranks multiplexed onto a small worker pool.
+
+    ``workers`` bounds the pool (default: core count, capped at 8).
+    With the ``fork`` start method (Linux) arbitrary ``combine``
+    callables work; under ``spawn`` they must be picklable.
+    """
+
+    name = "mp"
+
+    def __init__(
+        self, workers: int | None = None, fault_ranks: Iterable[int] = ()
+    ) -> None:
+        self.workers = workers
+        self.fault_ranks = frozenset(fault_ranks)
+
+    def run(
+        self,
+        plan: ExecPlan,
+        *,
+        stores: dict[int, dict[int, Any]],
+        combine: Combine | None,
+        accumulators: dict[int, Any],
+        reduce_op: Combine | None,
+        timeout: float,
+    ) -> TransportRun:
+        ranks = sorted(plan.programs)
+        if not ranks:
+            return TransportRun(delivered={}, values={})
+        pool = self.workers or min(len(ranks), os.cpu_count() or 2, 8)
+        pool = max(1, min(pool, len(ranks)))
+        groups = [list(ranks[w::pool]) for w in range(pool)]
+        rank_to_worker = {
+            rank: w for w, group in enumerate(groups) for rank in group
+        }
+        ctx = _mp_context()
+        worker_queues = [ctx.Queue() for _ in range(pool)]
+        result_queue = ctx.Queue()
+        procs = [
+            ctx.Process(
+                target=_mp_worker_main,
+                args=(
+                    w,
+                    groups[w],
+                    plan,
+                    rank_to_worker,
+                    worker_queues,
+                    result_queue,
+                    {r: stores[r] for r in groups[w] if r in stores},
+                    combine,
+                    {r: accumulators[r] for r in groups[w] if r in accumulators},
+                    reduce_op,
+                    timeout,
+                    self.fault_ranks,
+                ),
+                daemon=True,
+            )
+            for w in range(pool)
+        ]
+        for proc in procs:
+            proc.start()
+        try:
+            results = self._collect(procs, groups, result_queue, timeout)
+        finally:
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+            for proc in procs:
+                proc.join(timeout=2.0)
+        errors = [p for _, (s, p) in sorted(results.items()) if s == "error"]
+        if errors:
+            raise ExecError(f"mp transport: {errors[0]}")
+        blocked = [
+            RankBlocked(*info)
+            for _, (status, payload) in sorted(results.items())
+            if status == "blocked"
+            for info in payload
+        ]
+        if blocked:
+            _raise_blocked(plan, blocked, self.name, timeout)
+        delivered: dict[int, list[tuple[int, int]]] = {}
+        values: dict[int, Any] = {}
+        for _, (_status, payload) in sorted(results.items()):
+            for rank, (dlv, value) in payload.items():
+                delivered[rank] = dlv
+                values[rank] = value
+        return TransportRun(delivered=delivered, values=values)
+
+    def _collect(
+        self,
+        procs: list[Any],
+        groups: list[list[int]],
+        result_queue: Any,
+        timeout: float,
+    ) -> dict[int, tuple[str, Any]]:
+        results: dict[int, tuple[str, Any]] = {}
+        deadline = time.monotonic() + timeout + _GRACE_S
+        while len(results) < len(procs):
+            try:
+                worker_id, status, payload = result_queue.get(timeout=0.25)
+                results[worker_id] = (status, payload)
+                continue
+            except queue.Empty:
+                pass
+            for w, proc in enumerate(procs):
+                if (
+                    w not in results
+                    and not proc.is_alive()
+                    and proc.exitcode not in (0, None)
+                ):
+                    # drain any result that raced the exit check
+                    try:
+                        worker_id, status, payload = result_queue.get(
+                            timeout=0.25
+                        )
+                        results[worker_id] = (status, payload)
+                        continue
+                    except queue.Empty:
+                        pass
+                    raise ExecError(
+                        f"mp transport: worker {w} hosting ranks "
+                        f"{format_rank_set(groups[w])} exited with code "
+                        f"{proc.exitcode} before completing; remaining "
+                        f"workers were terminated"
+                    )
+            if time.monotonic() > deadline:
+                raise ExecTimeout(
+                    f"timeout: mp transport workers unresponsive "
+                    f"{_GRACE_S:.0f}s past the {timeout:.1f}s deadline; "
+                    f"terminating the pool"
+                )
+        return results
+
+
+class MpiTransport:
+    """One program per MPI rank via mpi4py (optional dependency).
+
+    Intended to run under ``mpiexec``: every process executes its own
+    rank's program against ``MPI.COMM_WORLD`` and rank 0 gathers the
+    full result.  Constructing this transport without mpi4py installed
+    raises :class:`TransportUnavailable` so callers skip cleanly.
+    """
+
+    name = "mpi"
+
+    def __init__(self) -> None:
+        try:
+            from mpi4py import MPI
+        except ImportError as exc:
+            raise TransportUnavailable(
+                "mpi transport requires mpi4py, which is not installed; "
+                "use --transport inproc or mp"
+            ) from exc
+        self._mpi = MPI
+
+    def run(
+        self,
+        plan: ExecPlan,
+        *,
+        stores: dict[int, dict[int, Any]],
+        combine: Combine | None,
+        accumulators: dict[int, Any],
+        reduce_op: Combine | None,
+        timeout: float,
+    ) -> TransportRun:
+        mpi = self._mpi
+        comm = mpi.COMM_WORLD
+        world = comm.Get_size()
+        needed = max(plan.programs, default=-1) + 1
+        if world < needed:
+            raise ExecError(
+                f"mpi transport: plan spans ranks 0-{needed - 1} but "
+                f"COMM_WORLD has only {world} process(es); launch with "
+                f"mpiexec -n {needed}"
+            )
+        rank = comm.Get_rank()
+        deadline = time.monotonic() + timeout
+        outcome: tuple[str, Any]
+        if rank in plan.programs:
+            endpoint = _MpiEndpoint(comm, mpi)
+            try:
+                result = run_rank(
+                    rank,
+                    plan.program(rank),
+                    endpoint,
+                    store=stores.get(rank, {}),
+                    combine=combine,
+                    accumulator=accumulators.get(rank),
+                    reduce_op=reduce_op,
+                    deadline=deadline,
+                )
+                outcome = ("ok", (result.delivered, result.value))
+            except RankBlocked as exc:
+                outcome = (
+                    "blocked",
+                    (exc.rank, exc.instr, exc.total, exc.src, exc.code),
+                )
+        else:
+            outcome = ("idle", None)
+        gathered = comm.gather((rank, outcome), root=0)
+        if rank != 0:
+            return TransportRun(delivered={}, values={})
+        blocked = [
+            RankBlocked(*payload)
+            for _, (status, payload) in gathered
+            if status == "blocked"
+        ]
+        if blocked:
+            _raise_blocked(plan, blocked, self.name, timeout)
+        delivered = {
+            r: payload[0]
+            for r, (status, payload) in gathered
+            if status == "ok"
+        }
+        values = {
+            r: payload[1]
+            for r, (status, payload) in gathered
+            if status == "ok"
+        }
+        return TransportRun(delivered=delivered, values=values)
+
+
+class _MpiEndpoint:
+    """mpi4py endpoint: tagged point-to-point with polling receive."""
+
+    __slots__ = ("_comm", "_mpi")
+
+    def __init__(self, comm: Any, mpi: Any) -> None:
+        self._comm = comm
+        self._mpi = mpi
+
+    def send(self, dst: int, envelope: Envelope) -> None:
+        self._comm.send(envelope, dest=dst, tag=0)
+
+    def recv(self, timeout: float) -> Envelope | None:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self._comm.iprobe(source=self._mpi.ANY_SOURCE, tag=0):
+                return self._comm.recv(source=self._mpi.ANY_SOURCE, tag=0)
+            time.sleep(0.002)
+        return None
+
+
+_TRANSPORTS: dict[str, type] = {
+    "inproc": InprocTransport,
+    "mp": MpTransport,
+    "mpi": MpiTransport,
+}
+
+
+def get_transport(name: str, **options: Any) -> Transport:
+    """Resolve a transport by name; one-line errors for unknown names,
+    :class:`TransportUnavailable` for known-but-absent backends."""
+    cls = _TRANSPORTS.get(name)
+    if cls is None:
+        known = ", ".join(sorted(_TRANSPORTS))
+        raise ValueError(f"unknown transport {name!r} (known: {known})")
+    transport: Transport = cls(**options)
+    return transport
+
+
+def available_transports() -> list[str]:
+    """Transport names constructible in this environment, in preference
+    order (``mpi`` drops out when mpi4py is absent)."""
+    out: list[str] = []
+    for name in ("inproc", "mp", "mpi"):
+        try:
+            get_transport(name)
+        except TransportUnavailable:
+            continue
+        out.append(name)
+    return out

@@ -10,6 +10,9 @@ MLIR/xdsl-shaped framework:
 - :mod:`repro.passes.library` — the built-in passes: the five ported
   transforms (shift/remap/reverse/concat/restrict) plus the three
   normalizers (canonicalize / prune-dead-sends / compact-time).
+- :mod:`repro.passes.lowering` — the ``lower`` pass bridging to the
+  execution stack (:mod:`repro.exec`): schedule in, schedule out, with
+  the compiled per-rank programs stashed on the pass instance.
 - :mod:`repro.passes.pipeline` — textual pipeline parsing
   (``"shift{offset=5},canonicalize"``).
 - :mod:`repro.passes.manager` — :class:`PassManager` with differential
@@ -42,6 +45,7 @@ from repro.passes.library import (
     ReversePass,
     ShiftPass,
 )
+from repro.passes.lowering import LowerPass
 from repro.passes.manager import (
     ERROR_RULES,
     PassManager,
@@ -68,6 +72,7 @@ __all__ = [
     "CanonicalizePass",
     "PruneDeadSendsPass",
     "CompactTimePass",
+    "LowerPass",
     "parse_pipeline",
     "format_pipeline",
     "PassManager",

@@ -110,6 +110,7 @@ def plan(
     backend: str | None = None,
     storage: str = "materialized",
     cache: Any | None = None,
+    execute: str | None = None,
     **kwargs: Any,
 ) -> Schedule | ImplicitSchedule:
     """Build the named collective's schedule.
@@ -137,8 +138,21 @@ def plan(
     Python object graphs.  ``backend=`` (a compute hint, deliberately
     outside the cache key) and ``storage="implicit"`` (an O(log P)
     build, cheaper than any lookup) are rejected alongside ``cache=``.
+
+    ``execute=`` names a transport (``"inproc"``/``"mp"``/``"mpi"``):
+    the built schedule is lowered to per-rank programs, run on that
+    transport, and verified against the simulator (delivered multisets
+    byte-identical) before being returned — "plan it, then prove it
+    runs".  Implicit storage is rejected with ``execute=`` (execution
+    is inherently O(num_sends); materialize first).
     """
     spec = get_spec(name)
+    if execute is not None and storage == "implicit":
+        raise ValueError(
+            f"{spec.name}: execute= does not apply to storage='implicit' "
+            f"(execution is O(num_sends); build materialized or call "
+            f"repro.exec.execute on schedule.materialize())"
+        )
     if cache is not None:
         if storage == "implicit":
             raise ValueError(
@@ -155,7 +169,9 @@ def plan(
         from repro.serve import canonical_request
 
         request = canonical_request(spec.name, params, **kwargs)
-        return schedule_from_json(cache.plan_json(request))
+        return _maybe_execute(
+            schedule_from_json(cache.plan_json(request)), execute
+        )
     if params is None:
         params = _machine_from_kwargs(kwargs)
     elif "P" in kwargs or "L" in kwargs:
@@ -199,7 +215,25 @@ def plan(
             f"{spec.name}: backend {backend!r} not supported "
             f"(supported: {', '.join(spec.backends)})"
         )
-    return spec.build(params, **extra)
+    return _maybe_execute(spec.build(params, **extra), execute)
+
+
+def _maybe_execute(schedule: Schedule, execute: str | None) -> Schedule:
+    """Run the built schedule on a transport with verification on.
+
+    Raises the exec stack's errors unchanged: ``ValueError`` for an
+    unknown transport name,
+    :class:`~repro.exec.errors.TransportUnavailable` when the backend
+    cannot run here, and
+    :class:`~repro.exec.errors.ExecVerificationError` if the delivered
+    multiset diverges from the simulator's.
+    """
+    if execute is None:
+        return schedule
+    from repro.exec import execute as _run
+
+    _run(schedule, transport=execute, verify=True)
+    return schedule
 
 
 def lower_bound(

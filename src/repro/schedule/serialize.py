@@ -25,6 +25,7 @@ from repro.params import LogPParams
 from repro.schedule.ops import Schedule, SendOp
 
 __all__ = [
+    "encode_item",
     "schedule_payload",
     "schedule_to_json",
     "schedule_from_json",
@@ -49,6 +50,11 @@ def _encode_item(item: Any) -> Any:
     if isinstance(item, frozenset):
         return {"fs": sorted(_encode_item(x) for x in item)}
     raise TypeError(f"cannot serialize item of type {type(item).__name__}")
+
+
+# public alias: the executor's trace layer (repro.exec.trace) emits the
+# same item encoding so exec and simulator payloads are byte-comparable
+encode_item = _encode_item
 
 
 def _decode_item(obj: Any) -> Any:

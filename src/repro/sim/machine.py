@@ -41,9 +41,59 @@ from repro.schedule.ops import Schedule, SendOp
 from repro.sim.trace import Trace, trace_from_schedule
 from repro.sim.validate import assert_valid
 
-__all__ = ["replay", "Machine", "Program", "Context"]
+__all__ = [
+    "replay",
+    "Machine",
+    "Program",
+    "Context",
+    "format_rank_set",
+    "format_blocked",
+]
 
 Item = Hashable
+
+# Detail lines shown per blocked rank before truncating; the summary
+# line always covers the full set.
+_MAX_BLOCKED_LINES = 8
+
+
+def format_rank_set(ranks: list[int]) -> str:
+    """Collapse a sorted rank list into run notation: ``0-3,7,9-10``."""
+    runs: list[str] = []
+    i = 0
+    while i < len(ranks):
+        j = i
+        while j + 1 < len(ranks) and ranks[j + 1] == ranks[j] + 1:
+            j += 1
+        runs.append(str(ranks[i]) if i == j else f"{ranks[i]}-{ranks[j]}")
+        i = j + 1
+    return ",".join(runs)
+
+
+def format_blocked(
+    headline: str,
+    waiters: list[tuple[int, str]],
+    *,
+    total_ranks: int,
+) -> str:
+    """Shared diagnostic body for simulator deadlocks and executor
+    timeouts: ``headline`` plus a blocked-rank summary (set collapsed
+    to run notation, usable at large ``P``) and per-rank detail lines,
+    truncated after ``_MAX_BLOCKED_LINES``.
+
+    ``waiters`` is ``(rank, one-line description)`` in the order the
+    details should print; the first entry is the "earliest" one the
+    headline typically names.
+    """
+    ranks = sorted({rank for rank, _ in waiters})
+    lines = [detail for _, detail in waiters[:_MAX_BLOCKED_LINES]]
+    hidden = len(waiters) - len(lines)
+    if hidden > 0:
+        lines.append(f"... and {hidden} more blocked rank(s)")
+    return (
+        f"{headline}: {len(ranks)} of {total_ranks} ranks blocked "
+        f"(ranks {format_rank_set(ranks)})\n  " + "\n  ".join(lines)
+    )
 
 
 def replay(schedule: Schedule, check_capacity: bool = True) -> Trace:
@@ -273,14 +323,23 @@ class Machine:
             for proc, state in self._states.items()
             if state.outbox
         )
-        lines = [
-            f"proc {proc} waits to send item {item!r} to proc {dst} "
-            f"but never receives the item"
+        first_proc, (first_dst, first_item) = stuck[0]
+        waiters = [
+            (
+                proc,
+                f"proc {proc} waits to send item {item!r} to proc {dst} "
+                f"but never receives the item",
+            )
             for proc, (dst, item) in stuck
         ]
         raise RuntimeError(
-            "deadlock: simulation is quiescent with undeliverable sends:\n  "
-            + "\n  ".join(lines)
+            format_blocked(
+                f"deadlock: simulation is quiescent with undeliverable "
+                f"sends; earliest: proc {first_proc} -> proc {first_dst}, "
+                f"item {first_item!r}",
+                waiters,
+                total_ranks=self.params.P,
+            )
         )
 
     def run(self) -> Schedule:

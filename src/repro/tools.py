@@ -54,6 +54,15 @@ MODULES = [
     "repro.passes.library",
     "repro.passes.pipeline",
     "repro.passes.manager",
+    "repro.passes.lowering",
+    "repro.exec",
+    "repro.exec.program",
+    "repro.exec.lower",
+    "repro.exec.engine",
+    "repro.exec.transport",
+    "repro.exec.trace",
+    "repro.exec.run",
+    "repro.exec.errors",
     "repro.serve",
     "repro.serve.keys",
     "repro.serve.cache",
