@@ -79,9 +79,12 @@ figures:
 sweeps:
 	$(PY) -m repro.cli sweeps
 
+# Every example is a self-checking script: each asserts its headline
+# claims and exits non-zero on failure, so this target doubles as a
+# smoke suite (CI runs it in the `examples` job).
 examples:
 	@for ex in examples/*.py; do \
-		echo "== $$ex"; $(PY) $$ex || exit 1; \
+		echo "== $$ex"; PYTHONPATH=src $(PY) $$ex || exit 1; \
 	done
 
 all: test bench

@@ -266,6 +266,58 @@ def test_recorded_bench_exec_gate():
     assert row["exec_mp_s"] < 10.0
 
 
+def test_hier_plan_lint_within_flat_budget():
+    """PR-10 acceptance: planning + linting the P=512 hierarchical
+    broadcast (per-edge pricing through the machine model) stays within
+    the flat P=512 plan+lint budget and never materializes a SendOp,
+    while the composed plan's makespan beats the flat envelope's."""
+    from repro.bench import bench_hier
+
+    row = bench_hier(P=512, repeat=3)
+    assert row["sends"] == 511
+    assert row["makespan_cycles"] < row["flat_makespan_cycles"]
+    assert row["plan_lint_ratio"] <= 1.0, (
+        f"hier plan+lint cost {row['plan_lint_ratio']:.2f}x the flat "
+        f"budget ({row['build_s'] + row['lint_s']:.4f}s vs "
+        f"{row['flat_build_s'] + row['flat_lint_s']:.4f}s); "
+        f"acceptance ceiling is 1.0x"
+    )
+
+
+def test_heal_bounded_time_at_p512():
+    """PR-10 acceptance: healing the fault-masked P=512 hierarchical
+    broadcast (dead leaders included, whole subtrees orphaned) covers
+    every survivor, lints error-free, and completes well inside a
+    per-plan interactive budget."""
+    from repro.bench import bench_heal
+
+    row = bench_heal(P=512, repeat=3)
+    assert row["dead"] > 0 and row["healed_sends"] > 0
+    assert row["heal_s"] < 0.5, f"heal took {row['heal_s']:.3f}s (budget 0.5s)"
+    assert row["lint_s"] < 1.0
+
+
+def test_recorded_bench_hier_gate():
+    """The committed BENCH_PR10.json must record the headline
+    hierarchical-machine numbers so regressions show up in review, not
+    just nightly CI."""
+    import json
+
+    path = Path(__file__).resolve().parent.parent / "BENCH_PR10.json"
+    doc = json.loads(path.read_text())
+    rows = {r["workload"]: r for r in doc["scenarios"]
+            if r["workload"] in ("hier", "heal")}
+    assert "hier" in rows, "BENCH_PR10.json has no hier row"
+    assert "heal" in rows, "BENCH_PR10.json has no heal row"
+    hier = rows["hier"]
+    assert hier["P"] == 512
+    assert hier["plan_lint_ratio"] <= 1.0
+    assert hier["makespan_cycles"] < hier["flat_makespan_cycles"]
+    heal = rows["heal"]
+    assert heal["dead"] > 0 and heal["healed_sends"] > 0
+    assert heal["heal_s"] < 0.5
+
+
 def test_recorded_bench_serve_gate():
     """The committed BENCH_PR7.json must record the headline serve
     load-gen numbers so regressions show up in review, not just

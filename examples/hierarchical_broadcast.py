@@ -5,22 +5,31 @@ Scenario: 8 nodes x 8 cores.  Within a node messages are cheap
 (L=2, o=1, g=1); across nodes they are expensive (L=24, o=2, g=6).
 A topology-oblivious broadcast pays inter-node cost for most hops; the
 two-level plan broadcasts among node leaders on the slow fabric, then
-fans out inside each node on the fast one.  This example prices both
-with the optimal planners and shows the decomposition — and also what
-the *best case* (all 64 ranks on the fast fabric) would cost, bounding
-what any topology-aware scheme could hope for.
+fans out inside each node on the fast one.
+
+The composition itself lives in the library
+(:func:`repro.machine.compose.two_level_broadcast_plan`, backed by the
+``hier-bcast`` registry collective); this example just drives it on the
+reference cluster, asserts the headline numbers, and shows the
+decomposition — including what the *best case* (all 64 ranks on the
+fast fabric) would cost, bounding what any topology-aware scheme could
+hope for.
 
 Run:  python examples/hierarchical_broadcast.py
 """
 
-from repro.comm import Communicator, embed_plan
 from repro.core.fib import broadcast_time
+from repro.machine import HierarchicalMachine, two_level_broadcast_plan
 from repro.params import LogPParams
+from repro.schedule.analysis import completion_time
+from repro.sim.validate_np import violations_np
 
 NODES, CORES = 8, 8
-INTER = LogPParams(P=NODES, L=24, o=2, g=6)       # leader <-> leader
-INTRA = LogPParams(P=CORES, L=2, o=1, g=1)        # within one node
-FLAT = LogPParams(P=NODES * CORES, L=24, o=2, g=6)  # oblivious view
+INTER = LogPParams(P=NODES, L=24, o=2, g=6)  # leader <-> leader
+INTRA = LogPParams(P=CORES, L=2, o=1, g=1)  # within one node
+MACHINE = HierarchicalMachine(
+    nodes=NODES, cores=CORES, inter=INTER, intra=INTRA
+)
 
 
 def main() -> None:
@@ -29,32 +38,41 @@ def main() -> None:
     print(f"inter-node fabric: {INTER}")
     print(f"intra-node fabric: {INTRA}\n")
 
+    plan = two_level_broadcast_plan(MACHINE)
+
     # --- topology-oblivious: optimal tree over the slow fabric ---------
-    flat_cycles = broadcast_time(total_ranks, FLAT)
-    print(f"flat (oblivious) optimal broadcast: {flat_cycles} cycles")
+    print(f"flat (oblivious) optimal broadcast: {plan.flat_cycles} cycles")
 
     # --- two-level: leaders first, then local fan-out -------------------
-    leaders = Communicator(INTER)
-    inter_plan = leaders.bcast(root=0)
-    local = Communicator(INTRA)
-    intra_plan = local.bcast(root=0)
-    two_level = inter_plan.cycles + intra_plan.cycles
     print(
-        f"two-level broadcast: {inter_plan.cycles} (leaders) + "
-        f"{intra_plan.cycles} (intra-node) = {two_level} cycles"
+        f"two-level broadcast: {plan.inter_cycles} (leaders) + "
+        f"{plan.intra_cycles} (intra-node) = {plan.total_cycles} cycles"
     )
-    speedup = flat_cycles / two_level
-    print(f"topology awareness buys {speedup:.2f}x on this machine\n")
+    print(f"topology awareness buys {plan.speedup:.2f}x on this machine\n")
+
+    # the composed schedule is a real, machine-priced plan: it replays
+    # cleanly under per-level (L, o, g) validation and its completion
+    # matches the phase arithmetic
+    assert violations_np(plan.schedule) == [], "composed plan is illegal"
+    assert completion_time(plan.schedule) == plan.total_cycles
+    assert plan.total_cycles == plan.inter_cycles + plan.intra_cycles
+    assert plan.total_cycles < plan.flat_cycles, (
+        f"two-level plan ({plan.total_cycles}) must beat the oblivious "
+        f"broadcast ({plan.flat_cycles}) on this cluster"
+    )
 
     # --- what's the floor? all ranks on the fast fabric -----------------
     dream = broadcast_time(total_ranks, INTRA.with_processors(total_ranks))
     print(f"(lower bound if the whole cluster had the fast fabric: {dream} cycles)")
+    assert dream <= plan.total_cycles
 
     # --- show the leader plan embedded on global ranks ------------------
     # leaders sit at global ranks 0, 8, 16, ...
-    mapping = {i: i * CORES for i in range(NODES)}
-    lifted = embed_plan(inter_plan, mapping)
-    sends = [(op.time, op.src, op.dst) for op in lifted.sorted_sends()]
+    sends = [
+        (op.time, op.src, op.dst)
+        for op in plan.leader_schedule.sorted_sends()
+    ]
+    assert all(s % CORES == 0 and d % CORES == 0 for _, s, d in sends)
     print("\nleader-phase messages on global ranks (time, src, dst):")
     for row in sends:
         print(f"  {row}")

@@ -216,14 +216,26 @@ class LintContext:
 
     @property
     def participants(self) -> np.ndarray:
-        """Sorted processor ids that appear anywhere in the schedule."""
+        """Sorted processor ids that appear anywhere in the schedule.
+
+        On a fault-masked machine the expected survivor set joins the
+        union: a surviving leaf that an over-eager ``restrict`` removed
+        from every send would otherwise vanish from the observed
+        participants and slip past coverage lint (SCHED010).
+        """
         if self._participants is None:
             procs = np.union1d(self.cols.srcs, self.cols.dsts)
             initial = np.fromiter(
                 (p for p, items in self.schedule.initial.items() if items),
                 dtype=np.int64,
             )
-            self._participants = np.union1d(procs, initial)
+            participants = np.union1d(procs, initial)
+            machine = self.schedule.machine
+            if machine is not None:
+                expected = machine.expected_participants()
+                if expected is not None:
+                    participants = np.union1d(participants, expected)
+            self._participants = participants
         return self._participants
 
     @property

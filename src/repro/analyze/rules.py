@@ -310,6 +310,11 @@ def _optimality_bound(ctx: LintContext) -> tuple[int, str] | None:
     the workload shape it produces); this adapter distils the lint
     context into the structured facts a spec's ``lint_bound`` needs.
     """
+    machine = ctx.schedule.machine
+    if machine is not None and not machine.has_flat_pricing:
+        # per-edge pricing can legitimately beat the flat closed forms
+        # (that is the point of hierarchical planning) — no bound applies
+        return None
     P = len(ctx.participants)
     if P < 2:
         return None

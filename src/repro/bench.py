@@ -64,6 +64,8 @@ __all__ = [
     "serve_request_points",
     "bench_serve",
     "bench_exec",
+    "bench_hier",
+    "bench_heal",
     "run_bench",
     "write_bench",
 ]
@@ -522,6 +524,112 @@ def bench_exec(
     return row
 
 
+def bench_hier(
+    P: int = 512, L: int = 8, o: int = 1, g: int = 2, repeat: int = 1
+) -> dict[str, Any]:
+    """Two-level machine planning + lint against the flat baseline (PR-10).
+
+    The same flat envelope ``(P, L, o, g)`` is planned twice: the classic
+    flat broadcast, and ``hier-bcast`` on the default squarest
+    nodes x cores factoring with a fast intra level.  The gate is that
+    per-edge pricing does not cost planning its speed — building and
+    linting the hierarchical plan stays within the flat plan+lint budget
+    and never materializes a ``SendOp`` — while the composed plan's
+    makespan beats the flat envelope's.
+    """
+    from repro.analyze import lint_schedule
+    from repro.machine.model import default_hier_machine
+    from repro.schedule.analysis import completion_time
+
+    params = LogPParams(P=P, L=L, o=o, g=g)
+    machine = default_hier_machine(params)
+
+    flat_build_s, flat = time_call(
+        lambda: registry.plan("broadcast", params, backend="columnar"), repeat
+    )
+    flat_lint_s, flat_report = time_call(lambda: lint_schedule(flat), repeat)
+    assert flat_report.max_severity is None
+
+    build_s, hier = time_call(
+        lambda: registry.plan("hier-bcast", machine=machine), repeat
+    )
+    assert hier.is_array_backed, "hier planning materialized SendOps"
+    lint_s, report = time_call(lambda: lint_schedule(hier), repeat)
+    assert report.max_severity is None
+    assert hier.is_array_backed, "hier lint materialized SendOps"
+
+    flat_budget = flat_build_s + flat_lint_s
+    hier_cost = build_s + lint_s
+    return {
+        "workload": "hier",
+        "P": P,
+        "params": [params.P, params.L, params.o, params.g],
+        "nodes": machine.nodes,
+        "cores": machine.cores,
+        "sends": hier.num_sends,
+        "build_s": build_s,
+        "lint_s": lint_s,
+        "flat_build_s": flat_build_s,
+        "flat_lint_s": flat_lint_s,
+        "plan_lint_ratio": (
+            hier_cost / flat_budget if flat_budget > 0 else float("inf")
+        ),
+        "makespan_cycles": completion_time(hier),
+        "flat_makespan_cycles": completion_time(flat),
+    }
+
+
+def bench_heal(
+    P: int = 512,
+    L: int = 8,
+    o: int = 1,
+    g: int = 2,
+    dead_every: int = 57,
+    repeat: int = 1,
+) -> dict[str, Any]:
+    """Fault-masked replanning: kill ranks, heal, re-lint (PR-10).
+
+    A ``hier-bcast`` plan is built on a :class:`FaultMaskedMachine`
+    (every ``dead_every``-th rank dead, leaders included, so whole
+    subtrees orphan), healed with :func:`repro.machine.heal.heal_columns`,
+    and the healed schedule is re-linted.  Asserts the healed plan covers
+    every survivor, stays array-backed, and lints error-free.
+    """
+    from repro.analyze import Severity, lint_schedule
+    from repro.machine.heal import heal_columns
+    from repro.machine.model import FaultMaskedMachine, default_hier_machine
+    from repro.schedule.analysis import completion_time
+
+    params = LogPParams(P=P, L=L, o=o, g=g)
+    base = default_hier_machine(params)
+    dead = tuple(range(3, P, dead_every))
+    machine = FaultMaskedMachine(base=base, dead=dead)
+    schedule = registry.plan("hier-bcast", machine=machine)
+
+    heal_s, healed_pair = time_call(lambda: heal_columns(schedule), repeat)
+    healed, stats = healed_pair
+    assert stats.uncovered_after == 0, "healed plan leaves orphans"
+    assert healed.is_array_backed, "healing materialized SendOps"
+    lint_s, report = time_call(lambda: lint_schedule(healed), repeat)
+    assert not report.at_least(Severity.ERROR), "healed plan lints dirty"
+    return {
+        "workload": "heal",
+        "P": P,
+        "params": [params.P, params.L, params.o, params.g],
+        "nodes": base.nodes,
+        "cores": base.cores,
+        "dead": len(dead),
+        "sends": healed.num_sends,
+        "heal_s": heal_s,
+        "lint_s": lint_s,
+        "dropped_sends": stats.dropped_sends,
+        "healed_sends": stats.healed_sends,
+        "uncovered_before": stats.uncovered_before,
+        "makespan_before": stats.makespan_before,
+        "makespan_cycles": completion_time(healed),
+    }
+
+
 def run_bench(
     sizes: tuple[int, ...] = (256, 1024, 4096),
     a2a_sizes: tuple[int, ...] = (256, 1024),
@@ -531,6 +639,7 @@ def run_bench(
     serve_points: int | None = None,
     serve_draws: int = 16_000,
     exec_P: int = 256,
+    hier_P: int = 512,
     repeat: int = 1,
     verbose: bool = False,
 ) -> dict[str, Any]:
@@ -549,7 +658,7 @@ def run_bench(
                             "cold_plans_per_s", "hot_plans_per_s",
                             "hot_hit_rate", "hot_speedup",
                             "lower_s", "exec_inproc_s", "exec_mp_s",
-                            "exec_mpi_s")
+                            "exec_mpi_s", "plan_lint_ratio", "heal_s")
                 if k in row
             ]
             timings = ", ".join(f"{k}={row[k]:.4f}" for k in keys)
@@ -570,10 +679,12 @@ def run_bench(
         record(bench_implicit_lint(P, repeat=repeat))
     record(bench_serve(points=serve_points, draws=serve_draws))
     record(bench_exec(exec_P, repeat=repeat))
+    record(bench_hier(hier_P, repeat=repeat))
+    record(bench_heal(hier_P, repeat=repeat))
     import numpy
 
     return {
-        "bench": "PR-9 schedule lowering + real-transport execution",
+        "bench": "PR-10 hierarchical machine model + fault-aware healing",
         "baseline": latest_baseline(),
         "command": "python -m repro.cli bench",
         "python": sys.version.split()[0],

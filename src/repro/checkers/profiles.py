@@ -72,6 +72,9 @@ HOT_MODULES = [
 #: ``repro.schedule.transform``).
 HOT_PACKAGES = [
     "src/repro/passes",
+    # per-edge pricing, composition and healing run inside the plan/lint
+    # budget gates, so the whole machine layer is hot
+    "src/repro/machine",
 ]
 
 #: Modules whose serialized bytes feed content hashing / cache keys.
@@ -96,6 +99,7 @@ CLI_PACKAGES = [
     "src/repro/analyze",
     "src/repro/checkers",
     "src/repro/exec",
+    "src/repro/machine",
 ]
 
 #: The one module allowed to compare against the dispatch threshold.

@@ -90,6 +90,24 @@ def _machine(args: argparse.Namespace) -> LogPParams:
     return LogPParams(P=args.P, L=args.L, o=args.o, g=args.g)
 
 
+def _machine_model(args: argparse.Namespace):
+    """The ``--machine`` topology, parsed, or ``None`` for the flat model.
+
+    Raises ``ValueError`` for a malformed spec string.  The flat
+    ``--P/--L/--o/--g`` flags only feed a ``flat`` spec; ``hier:...``
+    specs carry their own level parameters.
+    """
+    spec = getattr(args, "machine", None)
+    if spec is None:
+        return None
+    from repro.machine.model import machine_from_spec
+
+    params = None
+    if getattr(args, "P", None) is not None and getattr(args, "L", None) is not None:
+        params = _machine(args)
+    return machine_from_spec(spec, params)
+
+
 def _usage_error(msg: str) -> int:
     """One-line diagnostic on stderr, exit status 2 (argparse convention)."""
     print(f"repro: error: {msg}", file=sys.stderr)
@@ -135,17 +153,27 @@ def cmd_builders(args: argparse.Namespace) -> int:
 def cmd_plan(args: argparse.Namespace) -> int:
     """Build any registered collective and report completion vs. bound."""
     try:
-        machine = _machine(args)
+        model = _machine_model(args)
+        if model is None:
+            if args.P is None or args.L is None:
+                raise ValueError(
+                    f"{args.collective}: --P and --L are required "
+                    f"(or give --machine SPEC)"
+                )
+            params = _machine(args)
+        else:
+            params = model.flat_params
         spec = registry.get_spec(args.collective)
         extra = _spec_extra(spec, args)
-        schedule = registry.plan(spec.name, machine, **extra)
-        bound = registry.lower_bound(spec.name, machine, **extra)
+        schedule = registry.plan(spec.name, params, machine=model, **extra)
+        bound = registry.lower_bound(spec.name, params, **extra)
     except ValueError as exc:
         return _usage_error(str(exc))
     replay(schedule)
     done = registry.completion(schedule)
     extras = ", ".join(f"{k}={v}" for k, v in extra.items())
-    line = f"{spec.name} on {machine}"
+    target = params if model is None else model
+    line = f"{spec.name} on {target}"
     if extras:
         line += f" ({extras})"
     print(line)
@@ -272,6 +300,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         serve_points: int | None = 200
         serve_draws = 3_000
         exec_P = 64
+        hier_P = 64
     else:
         sizes, a2a_sizes, kitem, transform_P = (
             (256, 1024, 4096),
@@ -283,7 +312,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         serve_points = None
         serve_draws = 16_000
         exec_P = 256
-    total = len(sizes) + len(a2a_sizes) + len(implicit_sizes) + 4
+        hier_P = 512
+    total = len(sizes) + len(a2a_sizes) + len(implicit_sizes) + 6
     print(f"running {total} benchmark scenarios...")
     results = run_bench(
         sizes=sizes,
@@ -294,6 +324,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         serve_points=serve_points,
         serve_draws=serve_draws,
         exec_P=exec_P,
+        hier_P=hier_P,
         repeat=args.repeat,
         verbose=True,
     )
@@ -357,6 +388,11 @@ def _lint_target(args: argparse.Namespace):
 
         from repro.schedule.serialize import load_schedule
 
+        if getattr(args, "machine", None) is not None:
+            raise ValueError(
+                "--machine only applies to --builder plans (serialized "
+                "schedules carry their machine in the JSON payload)"
+            )
         try:
             return load_schedule(args.schedule)
         except FileNotFoundError:
@@ -366,6 +402,13 @@ def _lint_target(args: argparse.Namespace):
     if args.builder is None:
         raise ValueError("give a schedule JSON file or --builder NAME")
     spec = registry.get_spec(args.builder)
+    model = _machine_model(args)
+    if model is not None:
+        # topology specs carry their own parameters; flat flags only
+        # feed a 'flat' spec (resolved inside _machine_model)
+        return registry.plan(
+            spec.name, machine=model, **_spec_extra(spec, args)
+        )
     return registry.plan(spec.name, _machine(args), **_spec_extra(spec, args))
 
 
@@ -525,6 +568,16 @@ def cmd_run(args: argparse.Namespace) -> int:
         schedule = _lint_target(args)
     except ValueError as exc:
         return _usage_error(str(exc))
+    heal_stats = None
+    if schedule.machine is not None and getattr(schedule.machine, "dead", ()):
+        # fault-masked plans carry their dead-rank traffic for lint;
+        # running one means running the repaired survivor plan
+        from repro.machine import heal_columns
+
+        try:
+            schedule, heal_stats = heal_columns(schedule)
+        except ValueError as exc:
+            return _usage_error(str(exc))
     try:
         result = execute(
             schedule,
@@ -543,6 +596,14 @@ def cmd_run(args: argparse.Namespace) -> int:
         f"executed {schedule.num_sends} sends across {params.P} ranks "
         f"on {result.transport}"
     )
+    if heal_stats is not None:
+        dead = schedule.machine.dead
+        print(
+            f"  healed around {len(dead)} dead rank(s) "
+            f"{'+'.join(str(r) for r in dead)}: "
+            f"{heal_stats.dropped_sends} send(s) dropped, "
+            f"{heal_stats.healed_sends} re-inform(s) added"
+        )
     print(
         f"  delivered {result.num_delivered} messages in "
         f"{result.wall_s * 1e3:.1f} ms wall "
@@ -563,11 +624,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def machine_args(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--P", type=int, required=True, help="processors")
-        p.add_argument("--L", type=int, required=True, help="latency (cycles)")
+    def machine_args(
+        p: argparse.ArgumentParser, required: bool = True
+    ) -> None:
+        p.add_argument("--P", type=int, required=required, help="processors")
+        p.add_argument(
+            "--L", type=int, required=required, help="latency (cycles)"
+        )
         p.add_argument("--o", type=int, default=0, help="overhead (cycles)")
         p.add_argument("--g", type=int, default=1, help="gap (cycles)")
+
+    def machine_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--machine",
+            metavar="SPEC",
+            default=None,
+            help=(
+                "machine topology: 'flat' (priced by --P/--L/--o/--g), "
+                "'hier:NxC:L/o/g:L/o/g' (N nodes x C cores, inter then "
+                "intra level), optionally ':dead=a+b' to mask failed "
+                "ranks; hier specs carry their own parameters"
+            ),
+        )
 
     p = sub.add_parser("builders", help="list the registered collectives")
     p.add_argument(
@@ -580,7 +658,8 @@ def build_parser() -> argparse.ArgumentParser:
         "collective",
         help="collective name or alias (see `repro builders`)",
     )
-    machine_args(p)
+    machine_args(p, required=False)
+    machine_flag(p)
     p.add_argument("--k", type=int, default=None, help="items (k-item/continuous)")
     p.add_argument("--n", type=int, default=None, help="operands (summation)")
     p.add_argument("--t", type=int, default=None, help="time budget (summation)")
@@ -674,6 +753,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-L", "--L", type=int, default=6, help="latency (builders)")
     p.add_argument("--o", type=int, default=0, help="overhead (builders)")
     p.add_argument("--g", type=int, default=1, help="gap (builders)")
+    machine_flag(p)
     p.add_argument("--k", type=int, default=4, help="items (kitem builder)")
     p.add_argument("--n", type=int, default=32, help="operands (summation builder)")
     p.add_argument("--t", type=int, default=None, help="time budget (summation)")
@@ -786,6 +866,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-L", "--L", type=int, default=6, help="latency (builders)")
     p.add_argument("--o", type=int, default=0, help="overhead (builders)")
     p.add_argument("--g", type=int, default=1, help="gap (builders)")
+    machine_flag(p)
     p.add_argument("--k", type=int, default=4, help="items (kitem builder)")
     p.add_argument("--n", type=int, default=32, help="operands (summation builder)")
     p.add_argument("--t", type=int, default=None, help="time budget (summation)")
@@ -858,6 +939,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-L", "--L", type=int, default=6, help="latency (builders)")
     p.add_argument("--o", type=int, default=0, help="overhead (builders)")
     p.add_argument("--g", type=int, default=1, help="gap (builders)")
+    machine_flag(p)
     p.add_argument("--k", type=int, default=4, help="items (kitem builder)")
     p.add_argument("--n", type=int, default=32, help="operands (summation builder)")
     p.add_argument("--t", type=int, default=None, help="time budget (summation)")

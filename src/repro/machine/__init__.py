@@ -1,0 +1,38 @@
+"""First-class machine models (flat, hierarchical, fault-masked).
+
+See :mod:`repro.machine.model` for the model classes,
+:mod:`repro.machine.compose` for the two-level composed builders, and
+:mod:`repro.machine.heal` for the fault-replanning kernel behind the
+``heal`` pass.
+"""
+
+from repro.machine.compose import (
+    hier_broadcast_schedule,
+    hier_reduction_schedule,
+    two_level_broadcast_plan,
+)
+from repro.machine.heal import HealStats, heal_columns
+from repro.machine.model import (
+    FaultMaskedMachine,
+    FlatMachine,
+    HierarchicalMachine,
+    MachineModel,
+    default_hier_machine,
+    machine_from_doc,
+    machine_from_spec,
+)
+
+__all__ = [
+    "MachineModel",
+    "FlatMachine",
+    "HierarchicalMachine",
+    "FaultMaskedMachine",
+    "machine_from_doc",
+    "machine_from_spec",
+    "default_hier_machine",
+    "hier_broadcast_schedule",
+    "hier_reduction_schedule",
+    "two_level_broadcast_plan",
+    "HealStats",
+    "heal_columns",
+]

@@ -1,0 +1,237 @@
+"""Fault-aware replanning: re-root subtrees orphaned by rank removal.
+
+When ranks die (or a ``restrict`` pass cuts them out of a broadcast
+tree), every send touching a dead rank disappears — and with it the
+whole subtree it fed.  :func:`heal_columns` repairs such a schedule in
+two vectorized stages:
+
+1. **Replay-and-drop** — a monotone fixpoint over the availability
+   table keeps exactly the sends whose sender is informed by its start
+   time and whose endpoints both survive.  Everything downstream of a
+   dead rank is dropped transitively.
+2. **Greedy re-inform** — each orphaned survivor (ascending rank) is
+   re-attached to the earliest-finishing informed sender, respecting
+   per-level spacing: a new event at a processor is placed at least
+   ``g`` (of its edge's level) after *every* existing same-level event
+   there.  Since LogP guarantees ``o <= g``, that single spacing rule
+   simultaneously satisfies the send gap, receive gap, overhead
+   exclusivity, and capacity (pairwise-``g``-spaced sends keep at most
+   ``ceil(L/g)`` in flight) constraints, so healing preserves legality
+   by construction — and the validator re-checks it anyway.
+
+Healed ranks immediately join the candidate sender pool, so a healed
+orphan can relay to the next one.  The kernel is columnar throughout:
+it loops over *processors* (fixpoint rounds and orphans), never over
+sends, which keeps it legal under the hot-loop AST gate.
+
+Only single-item broadcast workloads are supported — the k-item and
+scattered repair problems need item-aware re-routing and are out of
+scope here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.fib import broadcast_time
+from repro.schedule.columnar import ItemTable
+from repro.schedule.ops import Schedule
+
+__all__ = ["HealStats", "heal_columns"]
+
+_INF = np.iinfo(np.int64).max
+
+
+@dataclass(frozen=True)
+class HealStats:
+    """What one :func:`heal_columns` run dropped, added, and proved."""
+
+    #: Sends removed because an endpoint died or the sender was orphaned.
+    dropped_sends: int
+    #: Re-inform sends added by the greedy stage.
+    healed_sends: int
+    #: Survivors with no path from the root before healing.
+    uncovered_before: int
+    #: Survivors still uncovered after healing (always 0 on success).
+    uncovered_after: int
+    makespan_before: int
+    makespan_after: int
+    #: Closed-form broadcast bound over the survivor count — only
+    #: meaningful under flat pricing (None on hierarchical machines).
+    completion_bound: int | None
+
+
+def _single_item(schedule: Schedule) -> tuple[int, object]:
+    """The (root, item) of a single-item broadcast, or raise."""
+    placements = [
+        (proc, items)
+        for proc, items in schedule.initial.items()
+        if items
+    ]
+    if len(placements) != 1 or len(placements[0][1]) != 1:
+        raise ValueError(
+            "heal supports single-item broadcast schedules only "
+            f"(found {len(placements)} initial placement(s))"
+        )
+    root, items = placements[0]
+    (item,) = items
+    cols = schedule.columns()
+    if len(cols) and len(np.unique(cols.items)) > 1:
+        raise ValueError("heal supports single-item broadcast schedules only")
+    if len(cols) and cols.table.items[int(cols.items[0])] != item:
+        raise ValueError(
+            "heal: sends carry a different item than the initial placement"
+        )
+    return root, item
+
+
+def heal_columns(
+    schedule: Schedule, procs: set[int] | None = None
+) -> tuple[Schedule, HealStats]:
+    """Drop sends involving dead/removed ranks and re-inform orphans.
+
+    ``procs`` names the survivor set explicitly; by default every rank
+    the machine reports alive (all ranks when no machine is attached)
+    must end up informed.  The root must survive.  Returns the healed
+    schedule (same params/machine, array-backed) and a
+    :class:`HealStats` record.
+    """
+    params = schedule.params
+    machine = schedule.machine
+    root, item = _single_item(schedule)
+    cols = schedule.columns()
+
+    alive = machine.alive_np() if machine is not None else np.arange(
+        params.P, dtype=np.int64
+    )
+    if procs is None:
+        survivors = alive
+    else:
+        requested = np.asarray(sorted(int(p) for p in procs), dtype=np.int64)
+        if len(requested) and (
+            requested[0] < 0 or requested[-1] >= params.P
+        ):
+            raise ValueError(
+                f"survivor ranks must lie in [0, {params.P}), got "
+                f"[{int(requested[0])}, {int(requested[-1])}]"
+            )
+        survivors = np.intersect1d(requested, alive)
+    if root not in survivors:
+        raise ValueError(
+            f"heal: broadcast root {root} is not in the survivor set"
+        )
+
+    # -- stage 1: replay-and-drop fixpoint --------------------------------
+    creation = int(schedule.item_creation_time(item))
+    avail = np.full(params.P, _INF, dtype=np.int64)
+    avail[root] = creation
+    endpoint_ok = np.isin(cols.srcs, survivors) & np.isin(cols.dsts, survivors)
+    keep = np.zeros(len(cols), dtype=bool)
+    # monotone (avail only decreases from INF), so it converges within
+    # dependency-chain depth rounds; the bound is a pure safeguard
+    for _ in range(len(cols) + 2):
+        keep = endpoint_ok & (cols.times >= avail[cols.srcs])
+        cand = np.full(params.P, _INF, dtype=np.int64)
+        np.minimum.at(cand, cols.dsts[keep], cols.arrivals[keep])
+        new_avail = np.minimum(avail, cand)
+        if np.array_equal(new_avail, avail):
+            break
+        avail = new_avail
+
+    dropped = int(len(cols) - keep.sum())
+    orphans = survivors[avail[survivors] == _INF]
+    uncovered_before = int(len(orphans))
+    makespan_before = int(cols.arrivals.max()) if len(cols) else creation
+
+    kt, ks, kd, ka = (
+        cols.times[keep],
+        cols.srcs[keep],
+        cols.dsts[keep],
+        cols.arrivals[keep],
+    )
+
+    # -- stage 2: greedy re-inform ----------------------------------------
+    levels = machine.levels if machine is not None else (params,)
+    n_levels = len(levels)
+    costs = np.fromiter(
+        (p.send_cost for p in levels), dtype=np.int64, count=n_levels
+    )
+    gaps = np.fromiter((p.g for p in levels), dtype=np.int64, count=n_levels)
+    ohs = np.fromiter((p.o for p in levels), dtype=np.int64, count=n_levels)
+
+    if machine is not None and not machine.is_flat:
+        kept_levels = machine.edge_levels_np(ks, kd)
+    else:
+        kept_levels = np.zeros(len(ks), dtype=np.int64)
+
+    # floor[l, p]: earliest start for a *new* level-l event at proc p —
+    # one gap after every existing same-level send start / receive start
+    floor = np.zeros((n_levels, params.P), dtype=np.int64)
+    for level in range(n_levels):
+        mask = kept_levels == level
+        np.maximum.at(floor[level], ks[mask], kt[mask] + gaps[level])
+        np.maximum.at(
+            floor[level], kd[mask], ka[mask] - ohs[level] + gaps[level]
+        )
+
+    new_times: list[int] = []
+    new_srcs: list[int] = []
+    new_dsts: list[int] = []
+    for orphan in orphans.tolist():
+        informed = survivors[avail[survivors] < _INF]
+        if machine is not None and not machine.is_flat:
+            edge_levels = machine.edge_levels_np(
+                informed, np.full(len(informed), orphan, dtype=np.int64)
+            )
+        else:
+            edge_levels = np.zeros(len(informed), dtype=np.int64)
+        starts = np.maximum(avail[informed], floor[edge_levels, informed])
+        arrivals = starts + costs[edge_levels]
+        pick = int(np.argmin(arrivals))  # ties -> lowest informed rank
+        sender = int(informed[pick])
+        level = int(edge_levels[pick])
+        start = int(starts[pick])
+        new_times.append(start)
+        new_srcs.append(sender)
+        new_dsts.append(orphan)
+        avail[orphan] = int(arrivals[pick])
+        floor[level, sender] = start + int(gaps[level])
+        floor[level, orphan] = max(
+            int(floor[level, orphan]),
+            int(arrivals[pick]) - int(ohs[level]) + int(gaps[level]),
+        )
+
+    times = np.concatenate([kt, np.asarray(new_times, dtype=np.int64)])
+    srcs = np.concatenate([ks, np.asarray(new_srcs, dtype=np.int64)])
+    dsts = np.concatenate([kd, np.asarray(new_dsts, dtype=np.int64)])
+    healed = Schedule.from_arrays(
+        params,
+        times,
+        srcs,
+        dsts,
+        item_table=ItemTable([item]),
+        initial={root: {item}},
+        source_items=dict(schedule.source_items),
+        machine=machine,
+    )
+
+    healed_cols = healed.columns()
+    makespan_after = (
+        int(healed_cols.arrivals.max()) if len(healed_cols) else creation
+    )
+    still_uncovered = int((avail[survivors] == _INF).sum())
+    bound: int | None = None
+    if machine is None or machine.has_flat_pricing:
+        bound = broadcast_time(len(survivors), params)
+    stats = HealStats(
+        dropped_sends=dropped,
+        healed_sends=len(new_times),
+        uncovered_before=uncovered_before,
+        uncovered_after=still_uncovered,
+        makespan_before=makespan_before,
+        makespan_after=makespan_after,
+        completion_bound=bound,
+    )
+    return healed, stats

@@ -39,6 +39,7 @@ from repro.passes.library import (
     CanonicalizePass,
     CompactTimePass,
     ConcatPass,
+    HealPass,
     PruneDeadSendsPass,
     RemapPass,
     RestrictPass,
@@ -69,6 +70,7 @@ __all__ = [
     "ReversePass",
     "ConcatPass",
     "RestrictPass",
+    "HealPass",
     "CanonicalizePass",
     "PruneDeadSendsPass",
     "CompactTimePass",

@@ -94,6 +94,10 @@ class SchedulePass:
 
     def _use_numpy(self, schedule: Schedule) -> bool:
         """Ask the dispatch policy whether to run the columnar kernel."""
+        if schedule.machine is not None and not schedule.machine.is_flat:
+            # the objects oracles price every send with the flat params;
+            # machine schedules must take the per-edge columnar kernels
+            return True
         return _dispatch.use_numpy(schedule.num_sends, override=self.backend)
 
     def run(self, schedule: Schedule) -> Schedule:

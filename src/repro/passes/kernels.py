@@ -95,6 +95,7 @@ def shift_columns(schedule: Schedule, offset: int) -> Schedule:
         source_items={
             item: when + offset for item, when in schedule.source_items.items()
         },
+        machine=schedule.machine,
     )
 
 
@@ -124,6 +125,7 @@ def remap_columns(schedule: Schedule, mapping: Mapping[int, int]) -> Schedule:
             for p, items in schedule.initial.items()
         },
         source_items=dict(schedule.source_items),
+        machine=schedule.machine,
     )
 
 
@@ -142,7 +144,11 @@ def reverse_columns(
     params = schedule.params
     cols = schedule.columns()
     if len(cols) == 0:
-        return Schedule(params=params, initial=initial or dict(schedule.initial))
+        return Schedule(
+            params=params,
+            initial=initial or dict(schedule.initial),
+            machine=schedule.machine,
+        )
     completion = int(cols.arrivals.max())
     new_times = completion - cols.arrivals
     uniq_dsts, inverse = np.unique(cols.dsts, return_inverse=True)
@@ -164,6 +170,7 @@ def reverse_columns(
         table,
         initial=initial,
         source_items=source_items,
+        machine=schedule.machine,
     )
 
 
@@ -171,10 +178,19 @@ def concat_columns(first: Schedule, second: Schedule) -> Schedule:
     """Columnar :func:`repro.schedule.transform.concat`."""
     if first.params != second.params:
         raise ValueError("cannot concatenate schedules for different machines")
+    if first.machine != second.machine:
+        raise ValueError("cannot concatenate schedules for different machines")
     params = first.params
     c1, c2 = first.columns(), second.columns()
     finish = int(c1.arrivals.max()) if len(c1) else 0
-    offset = finish + max(params.g, params.o)
+    if first.machine is not None and not first.machine.is_flat:
+        # pad by the worst level: the flat envelope's g can undershoot a
+        # slower intra level, which would leak gap violations across the
+        # seam
+        pad = max(max(p.g, p.o) for p in first.machine.levels)
+    else:
+        pad = max(params.g, params.o)
+    offset = finish + pad
     if len(c2) and int(c2.times.min()) + offset < 0:
         raise ValueError(SHIFT_BEFORE_ZERO)
     table = c1.table.copy()
@@ -197,6 +213,7 @@ def concat_columns(first: Schedule, second: Schedule) -> Schedule:
                 for item, when in second.source_items.items()
             },
         ),
+        machine=first.machine,
     )
 
 
@@ -219,6 +236,7 @@ def restrict_columns(schedule: Schedule, procs: Iterable[int]) -> Schedule:
             if p in keep
         },
         source_items=merge_source_items(schedule.source_items, {}),
+        machine=schedule.machine,
     )
 
 
@@ -252,6 +270,7 @@ def canonicalize_columns(schedule: Schedule) -> tuple[Schedule, int]:
             table,
             initial=_copy_initial(schedule),
             source_items=dict(schedule.source_items),
+            machine=schedule.machine,
         ),
         dropped,
     )
@@ -284,6 +303,7 @@ def prune_dead_sends_columns(schedule: Schedule) -> tuple[Schedule, int]:
             cols.table,
             initial=_copy_initial(schedule),
             source_items=dict(schedule.source_items),
+            machine=schedule.machine,
         ),
         removed,
     )
@@ -308,7 +328,11 @@ def compact_time_columns(schedule: Schedule) -> tuple[Schedule, int]:
     """
     params = schedule.params
     cols = schedule.columns()
-    reserve = params.L + 2 * params.o + params.g
+    if schedule.machine is not None and not schedule.machine.is_flat:
+        # the reservation horizon must cover the slowest level's reach
+        reserve = max(p.L + 2 * p.o + p.g for p in schedule.machine.levels)
+    else:
+        reserve = params.L + 2 * params.o + params.g
     markers = np.fromiter(
         schedule.source_items.values(),
         dtype=np.int64,
@@ -327,6 +351,7 @@ def compact_time_columns(schedule: Schedule) -> tuple[Schedule, int]:
                 cols.table,
                 initial=_copy_initial(schedule),
                 source_items={},
+                machine=schedule.machine,
             ),
             0,
         )
@@ -377,6 +402,7 @@ def compact_time_columns(schedule: Schedule) -> tuple[Schedule, int]:
             cols.table,
             initial=_copy_initial(schedule),
             source_items=source_items,
+            machine=schedule.machine,
         ),
         int(removed[-1]),
     )

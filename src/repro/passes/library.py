@@ -16,6 +16,7 @@ remap              yes                 yes
 reverse            yes                 yes
 concat             yes                 no
 restrict           yes                 no
+heal               yes                 no
 canonicalize       yes                 yes
 prune-dead-sends   yes                 no
 compact-time       yes                 no
@@ -37,6 +38,7 @@ __all__ = [
     "ReversePass",
     "ConcatPass",
     "RestrictPass",
+    "HealPass",
     "CanonicalizePass",
     "PruneDeadSendsPass",
     "CompactTimePass",
@@ -245,6 +247,68 @@ class RestrictPass(SchedulePass):
         if self._use_numpy(schedule):
             return kernels.restrict_columns(schedule, self.procs)
         return _oracle().restrict_objects(schedule, self.procs)
+
+
+@register_pass
+class HealPass(SchedulePass):
+    """Re-inform survivors orphaned by rank removal (broadcast only).
+
+    The companion of ``restrict`` and of :class:`~repro.machine.model.
+    FaultMaskedMachine`: drops every send touching a dead or removed
+    rank (transitively — orphaned subtrees fall with their parent) and
+    greedily re-attaches each orphaned survivor to the earliest
+    informed sender, respecting per-level gap spacing.  ``procs``
+    overrides the survivor set; by default every rank the machine
+    reports alive must end up covered.  Sets ``stats`` from
+    :class:`~repro.machine.heal.HealStats` (dropped/healed send counts,
+    coverage before/after, makespans, and the survivor-count broadcast
+    bound under flat pricing).
+    """
+
+    name: ClassVar[str] = "heal"
+    summary: ClassVar[str] = "re-inform survivors orphaned by rank removal"
+    params_doc: ClassVar[str] = "procs=<lo:hi | a+b+c> (optional survivor set)"
+    preserves_legality: ClassVar[bool] = True
+    preserves_completion: ClassVar[bool] = False
+    run_implicit = refuse_implicit(
+        "healing replays per-processor availability against the survivor set"
+    )
+
+    def __init__(
+        self, procs: Iterable[int] | str | None = None, backend: str | None = None
+    ):
+        super().__init__(backend=backend)
+        if procs is None:
+            self.procs = None
+        else:
+            self.procs = (
+                parse_procs(procs) if isinstance(procs, str) else set(procs)
+            )
+
+    def params(self) -> dict[str, Any]:
+        if self.procs is None:
+            return {}
+        return {"procs": "+".join(str(p) for p in sorted(self.procs))}
+
+    def run(self, schedule: Schedule) -> Schedule:
+        # columnar-only: the kernel is vectorized over procs, and the
+        # fixpoint has no objects oracle (legality is re-verified by the
+        # manager / validator instead)
+        from repro.machine.heal import heal_columns
+
+        result, heal_stats = heal_columns(schedule, procs=self.procs)
+        self.stats.update(
+            {
+                "dropped_sends": heal_stats.dropped_sends,
+                "healed_sends": heal_stats.healed_sends,
+                "uncovered_before": heal_stats.uncovered_before,
+                "uncovered_after": heal_stats.uncovered_after,
+                "makespan_before": heal_stats.makespan_before,
+                "makespan_after": heal_stats.makespan_after,
+                "completion_bound": heal_stats.completion_bound,
+            }
+        )
+        return result
 
 
 @register_pass

@@ -111,12 +111,21 @@ def plan(
     storage: str = "materialized",
     cache: Any | None = None,
     execute: str | None = None,
+    machine: Any | None = None,
     **kwargs: Any,
 ) -> Schedule | ImplicitSchedule:
     """Build the named collective's schedule.
 
     Machine parameters come either as ``params=LogPParams(...)`` or as
     the keywords ``P``/``L``/``o``/``g`` (postal defaults ``o=0, g=1``).
+    ``machine=`` names the full topology (a
+    :class:`~repro.machine.model.MachineModel`): when given, ``params``
+    defaults to ``machine.flat_params`` (and must equal it if passed
+    explicitly).  Machine-aware collectives (``hier-bcast``,
+    ``hier-reduce``) receive the topology and attach it to the built
+    schedule, switching validation/lint/exec to per-edge pricing; other
+    collectives accept a :class:`~repro.machine.model.FlatMachine`
+    (identical semantics, ignored) and reject anything else.
     Collective-specific parameters (``k``, ``n``, ``t``) are validated
     against the spec's declared domain.  ``backend`` pins the storage
     backend (``"columnar"``/``"objects"``) for builders that support
@@ -147,6 +156,17 @@ def plan(
     is inherently O(num_sends); materialize first).
     """
     spec = get_spec(name)
+    if machine is not None and not spec.machine_aware and not machine.is_flat:
+        aware = ", ".join(s.name for s in SPECS if s.machine_aware)
+        raise ValueError(
+            f"{spec.name}: does not accept a machine topology "
+            f"(machine-aware collectives: {aware})"
+        )
+    if machine is not None and storage == "implicit":
+        raise ValueError(
+            f"{spec.name}: machine= does not apply to storage='implicit' "
+            f"(per-edge pricing needs materialized columns)"
+        )
     if execute is not None and storage == "implicit":
         raise ValueError(
             f"{spec.name}: execute= does not apply to storage='implicit' "
@@ -168,16 +188,25 @@ def plan(
         from repro.schedule.serialize import schedule_from_json
         from repro.serve import canonical_request
 
-        request = canonical_request(spec.name, params, **kwargs)
+        if machine is not None and params is None:
+            params = machine.flat_params
+        request = canonical_request(spec.name, params, machine=machine, **kwargs)
         return _maybe_execute(
             schedule_from_json(cache.plan_json(request)), execute
         )
+    if params is None and machine is not None:
+        params = machine.flat_params
     if params is None:
         params = _machine_from_kwargs(kwargs)
     elif "P" in kwargs or "L" in kwargs:
         raise ValueError(
             f"{spec.name}: give either params=LogPParams(...) or "
             f"P=/L= keywords, not both"
+        )
+    if machine is not None and params != machine.flat_params:
+        raise ValueError(
+            f"{spec.name}: params {params} conflict with the machine's "
+            f"flat envelope {machine.flat_params}"
         )
     if storage not in ("materialized", "implicit"):
         raise ValueError(
@@ -206,6 +235,9 @@ def plan(
             extra["family"] = family
         return spec.implicit_build(params, **extra)
     extra = spec.validate_extra(params, kwargs)
+    if spec.machine_aware:
+        # machines travel outside the int-only extra_params validation
+        extra["machine"] = machine
     if len(spec.backends) > 1:
         extra["backend"] = _dispatch.builder_backend(
             spec.backends, override=backend

@@ -85,6 +85,11 @@ class CollectiveSpec:
     lower_bound: Callable[..., int] | None = None  # lower_bound(params, **extra)
     tight: Callable[..., bool] | None = None  # construction meets the bound?
     backends: tuple[str, ...] = ("objects",)
+    #: The builder accepts a ``machine=`` topology (a
+    #: ``repro.machine.model.MachineModel``, routed outside the int-only
+    #: ``extra_params`` validation).  Non-aware specs reject non-flat
+    #: machines at :func:`~repro.registry.plan` time.
+    machine_aware: bool = False
     workload: str | None = None  # lint workload whose closed form this spec owns
     lint_bound: Callable[[BoundQuery], tuple[int, str] | None] | None = None
     figures: tuple[tuple[str, str], ...] = ()  # (figure key, builder attr)

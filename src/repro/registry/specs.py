@@ -254,6 +254,101 @@ def _build_reduction(params: LogPParams) -> Schedule:
     return reduction_schedule(params)
 
 
+# -- hierarchical two-level collectives (machine layer, DESIGN S38) ------
+
+
+def _resolve_hier_machine(
+    name: str, params: LogPParams, machine: Any
+) -> tuple[Any, Any]:
+    """Default / unwrap / sanity-check the machine for the hier builders.
+
+    Returns ``(machine, base)`` where ``base`` is the underlying
+    :class:`~repro.machine.model.HierarchicalMachine` the composition
+    runs on (a fault mask is peeled off for building and re-attached to
+    the result, so a masked plan lints its dead-rank traffic and then
+    heals).  With no machine given, ``params.P`` is factored into the
+    squarest nodes x cores hierarchy so the flat CLI flags still work.
+    """
+    from repro.machine.model import (
+        FaultMaskedMachine,
+        HierarchicalMachine,
+        default_hier_machine,
+    )
+
+    if machine is None:
+        machine = default_hier_machine(params)
+    base = machine.base if isinstance(machine, FaultMaskedMachine) else machine
+    if not isinstance(base, HierarchicalMachine):
+        raise ValueError(
+            f"{name}: needs a hierarchical machine, got "
+            f"{type(machine).__name__} (pass machine=HierarchicalMachine(...) "
+            f"or omit it for the default P-factoring)"
+        )
+    if machine.num_procs != params.P:
+        raise ValueError(
+            f"{name}: machine has {machine.num_procs} ranks but params.P "
+            f"is {params.P}"
+        )
+    return machine, base
+
+
+def _attach_machine(schedule: Schedule, machine: Any) -> Schedule:
+    """Rewrap a built schedule with the (possibly fault-masked) machine."""
+    if machine == schedule.machine:
+        return schedule
+    cols = schedule.columns()
+    return Schedule.from_arrays(
+        schedule.params,
+        cols.times,
+        cols.srcs,
+        cols.dsts,
+        cols.items,
+        cols.table,
+        initial=schedule.initial,
+        source_items=schedule.source_items,
+        machine=machine,
+    )
+
+
+def _build_hier_broadcast(
+    params: LogPParams, *, machine: Any = None
+) -> Schedule:
+    from repro.machine.compose import hier_broadcast_schedule
+
+    machine, base = _resolve_hier_machine("hier-bcast", params, machine)
+    return _attach_machine(hier_broadcast_schedule(base), machine)
+
+
+def _build_hier_reduction(
+    params: LogPParams, *, machine: Any = None
+) -> Schedule:
+    from repro.machine.compose import hier_reduction_schedule
+
+    machine, base = _resolve_hier_machine("hier-reduce", params, machine)
+    return _attach_machine(hier_reduction_schedule(base), machine)
+
+
+def _hier_lower_bound(params: LogPParams) -> int:
+    """Closed-form lower bound for the default two-level machine.
+
+    Relax every edge to the pointwise-min level parameters: any schedule
+    legal on the hierarchy is legal on that (uniformly cheaper) flat
+    machine, so the flat broadcast optimum under the relaxed params
+    bounds the hierarchical completion from below.  (Per-component mins
+    stay a valid LogP tuple: each level has o <= g, so min o <= min g.)
+    """
+    from repro.machine.model import default_hier_machine
+
+    m = default_hier_machine(params)
+    relaxed = LogPParams(
+        P=m.num_procs,
+        L=min(p.L for p in m.levels),
+        o=min(p.o for p in m.levels),
+        g=min(p.g for p in m.levels),
+    )
+    return broadcast_time(m.num_procs, relaxed)
+
+
 def _always(params: LogPParams, **extra: Any) -> bool:
     return True
 
@@ -398,6 +493,40 @@ SPECS: tuple[CollectiveSpec, ...] = (
         sample_cases=(
             {"P": 8, "L": 6, "o": 2, "g": 4},
             {"P": 5, "L": 2},
+        ),
+    ),
+    CollectiveSpec(
+        name="hier-bcast",
+        aliases=("hierarchical-broadcast",),
+        summary="two-level broadcast: optimal trees composed per fabric level",
+        paper="Section 2 composed per level (DESIGN S38)",
+        theorem="Thm 2.1 per level",
+        build=_build_hier_broadcast,
+        check_machine=lambda p: _require_processors("hier-bcast", p, 1),
+        lower_bound=_hier_lower_bound,
+        backends=("columnar",),
+        machine_aware=True,
+        sample_cases=(
+            {"P": 8, "L": 6, "o": 2, "g": 4},
+            {"P": 12, "L": 4, "o": 1, "g": 2},
+            {"P": 2, "L": 1},
+        ),
+    ),
+    CollectiveSpec(
+        name="hier-reduce",
+        aliases=("hierarchical-reduction",),
+        summary="two-level all-to-one reduction (time-reversed hier-bcast)",
+        paper="Sections 2 and 4.2 composed per level (DESIGN S38)",
+        theorem="Thm 2.1 per level (reversal)",
+        build=_build_hier_reduction,
+        check_machine=lambda p: _require_processors("hier-reduce", p, 1),
+        lower_bound=_hier_lower_bound,
+        backends=("columnar",),
+        machine_aware=True,
+        sample_cases=(
+            {"P": 8, "L": 6, "o": 2, "g": 4},
+            {"P": 12, "L": 4, "o": 1, "g": 2},
+            {"P": 2, "L": 1},
         ),
     ),
 )

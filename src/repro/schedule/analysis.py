@@ -41,6 +41,10 @@ def availability(
     destination at ``time + L + 2o``.  If an item reaches a processor more
     than once, the earliest arrival wins.
     """
+    if schedule.machine is not None and not schedule.machine.is_flat:
+        # per-edge arrivals live in the column view; the scalar loop
+        # below prices every send with the flat params
+        return _np_kernels.availability_np(schedule)
     if _dispatch.use_numpy(schedule.num_sends, override=backend):
         return _np_kernels.availability_np(schedule)
     avail: dict[tuple[int, Item], int] = {}
@@ -61,6 +65,8 @@ def completion_time(schedule: Schedule, backend: str | None = None) -> int:
     """Cycle at which the last payload lands (0 for an empty schedule)."""
     if not schedule.num_sends:
         return 0
+    if schedule.machine is not None and not schedule.machine.is_flat:
+        return _np_kernels.completion_time_np(schedule.columns())
     if _dispatch.use_numpy(schedule.num_sends, override=backend):
         return _np_kernels.completion_time_np(schedule.columns())
     return max(op.arrival(schedule.params) for op in schedule.sends)

@@ -25,12 +25,15 @@ Both storage modes are observationally identical: the property suite in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Iterable, Iterator
+from typing import TYPE_CHECKING, Hashable, Iterable, Iterator
 
 import numpy as np
 
 from repro.params import LogPParams
 from repro.schedule.ops import SendOp
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.machine.model import MachineModel
 
 __all__ = [
     "ItemTable",
@@ -160,8 +163,31 @@ def _num_procs(
     return max(procs, (max(initial) + 1) if initial else 0)
 
 
+def _arrivals(
+    times: np.ndarray,
+    srcs: np.ndarray,
+    dsts: np.ndarray,
+    params: LogPParams,
+    machine: "MachineModel | None",
+) -> np.ndarray:
+    """Per-send availability times — the single pricing choke point.
+
+    Flat machines (and ``machine=None``) keep the scalar broadcast
+    ``times + L + 2o``; any other machine prices each send by its
+    (src, dst) edge level.  Everything downstream of ``cols.arrivals``
+    (causality, completion time, lint, exec lowering, reversal) becomes
+    machine-aware through this one branch.
+    """
+    if machine is None or machine.is_flat:
+        return times + params.send_cost
+    return times + machine.send_cost_np(srcs, dsts)
+
+
 def sends_to_columns(
-    sends: list[SendOp], params: LogPParams, initial: dict[int, set[Item]]
+    sends: list[SendOp],
+    params: LogPParams,
+    initial: dict[int, set[Item]],
+    machine: "MachineModel | None" = None,
 ) -> ScheduleColumns:
     """Convert an object-backed send list to column arrays (one pass)."""
     n = len(sends)
@@ -175,7 +201,7 @@ def sends_to_columns(
         srcs=srcs,
         dsts=dsts,
         items=items,
-        arrivals=times + params.send_cost,
+        arrivals=_arrivals(times, srcs, dsts, params, machine),
         table=table,
         num_procs=_num_procs(srcs, dsts, initial),
     )
@@ -189,6 +215,7 @@ def arrays_to_columns(
     item_codes: np.ndarray | None,
     table: ItemTable | None,
     initial: dict[int, set[Item]],
+    machine: "MachineModel | None" = None,
 ) -> ScheduleColumns:
     """Wrap caller-provided arrays as columns (zero-copy when ``int64``).
 
@@ -235,7 +262,7 @@ def arrays_to_columns(
         srcs=srcs,
         dsts=dsts,
         items=item_codes,
-        arrivals=times + params.send_cost,
+        arrivals=_arrivals(times, srcs, dsts, params, machine),
         table=table,
         num_procs=_num_procs(srcs, dsts, initial),
     )

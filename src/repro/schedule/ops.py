@@ -45,6 +45,7 @@ from repro.params import LogPParams
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.analyze.diagnostics import LintReport
+    from repro.machine.model import MachineModel
     from repro.schedule.columnar import ItemTable, ScheduleColumns
 
 __all__ = ["SendOp", "ComputeOp", "Schedule"]
@@ -112,6 +113,13 @@ class Schedule:
     source_items:
         For multi-item broadcasts: map ``item -> time it is created`` at
         the source.  Items default to being available at time 0.
+    machine:
+        Optional :class:`~repro.machine.model.MachineModel` the schedule
+        targets.  ``None`` (the default) and ``FlatMachine`` both mean
+        the classic flat machine described by ``params``; hierarchical
+        or fault-masked machines switch arrival times, validation, and
+        lint to per-edge pricing.  ``params`` stays the machine's flat
+        envelope so legacy consumers keep working.
     """
 
     def __init__(
@@ -121,8 +129,15 @@ class Schedule:
         initial: dict[int, set[Item]] | None = None,
         computes: list[ComputeOp] | None = None,
         source_items: dict[Item, int] | None = None,
+        machine: MachineModel | None = None,
     ):
+        if machine is not None and machine.num_procs != params.P:
+            raise ValueError(
+                f"machine has {machine.num_procs} ranks but params.P is "
+                f"{params.P}"
+            )
         self.params = params
+        self.machine = machine
         self.initial = initial if initial else {0: {0}}
         self.computes = computes if computes is not None else []
         self.source_items = source_items if source_items is not None else {}
@@ -145,6 +160,7 @@ class Schedule:
         initial: dict[int, set[Item]] | None = None,
         computes: list[ComputeOp] | None = None,
         source_items: dict[Item, int] | None = None,
+        machine: MachineModel | None = None,
     ) -> Schedule:
         """Build an array-backed schedule from ``int64`` column arrays.
 
@@ -159,10 +175,18 @@ class Schedule:
             initial=initial,
             computes=computes,
             source_items=source_items,
+            machine=machine,
         )
         schedule._sends = None
         schedule._columns = arrays_to_columns(
-            params, times, srcs, dsts, item_codes, item_table, schedule.initial
+            params,
+            times,
+            srcs,
+            dsts,
+            item_codes,
+            item_table,
+            schedule.initial,
+            machine=machine,
         )
         return schedule
 
@@ -207,7 +231,9 @@ class Schedule:
             return self._columns
         from repro.schedule.columnar import sends_to_columns
 
-        self._columns = sends_to_columns(self._sends, self.params, self.initial)
+        self._columns = sends_to_columns(
+            self._sends, self.params, self.initial, machine=self.machine
+        )
         return self._columns
 
     def _invalidate(self) -> None:
@@ -310,6 +336,7 @@ class Schedule:
             return NotImplemented
         return (
             self.params == other.params
+            and self.machine == other.machine
             and self.sends == other.sends
             and self.initial == other.initial
             and self.computes == other.computes

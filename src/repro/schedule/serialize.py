@@ -13,7 +13,12 @@ format is stable and self-describing::
     }
 
 Items are encoded structurally (ints, strings, and tuples thereof) so the
-tuple-tagged items used across the library round-trip exactly.
+tuple-tagged items used across the library round-trip exactly.  Schedules
+targeting a non-default machine carry an extra ``"machine"`` key holding
+the topology's canonical doc (see
+:meth:`repro.machine.model.MachineModel.canonical_doc`); flat schedules
+omit it, so their serialized bytes — and cached content hashes — are
+unchanged from earlier format revisions.
 """
 
 from __future__ import annotations
@@ -81,7 +86,7 @@ def schedule_payload(schedule: Schedule) -> dict[str, Any]:
     cols = schedule.columns()
     order = sort_order(cols)
     encoded_items = [_encode_item(item) for item in cols.table.items]
-    return {
+    payload: dict[str, Any] = {
         "format": FORMAT,
         "params": {
             "P": schedule.params.P,
@@ -107,6 +112,11 @@ def schedule_payload(schedule: Schedule) -> dict[str, Any]:
             )
         ],
     }
+    if schedule.machine is not None:
+        # only present for machine-attached schedules, so every flat
+        # payload (and its cached content hash) stays byte-identical
+        payload["machine"] = schedule.machine.canonical_doc()
+    return payload
 
 
 def schedule_to_json(schedule: Schedule, canonical: bool = False) -> str:
@@ -135,6 +145,11 @@ def schedule_from_json(text: str) -> Schedule:
             f"unsupported format {payload.get('format')!r}; expected {FORMAT!r}"
         )
     params = LogPParams(**payload["params"])
+    machine = None
+    if "machine" in payload:
+        from repro.machine.model import machine_from_doc
+
+        machine = machine_from_doc(payload["machine"])
     schedule = Schedule(
         params=params,
         initial={
@@ -144,6 +159,7 @@ def schedule_from_json(text: str) -> Schedule:
         source_items={
             _decode_item(item): when for item, when in payload["source_items"]
         },
+        machine=machine,
     )
     schedule.extend(
         SendOp(time=time, src=src, dst=dst, item=_decode_item(item))

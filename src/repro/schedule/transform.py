@@ -135,6 +135,7 @@ def shift_objects(schedule: Schedule, offset: int) -> Schedule:
         source_items={
             item: when + offset for item, when in schedule.source_items.items()
         },
+        machine=schedule.machine,
     )
 
 
@@ -156,6 +157,7 @@ def remap_objects(schedule: Schedule, mapping: Mapping[int, int]) -> Schedule:
         ],
         initial={m(p): set(items) for p, items in schedule.initial.items()},
         source_items=dict(schedule.source_items),
+        machine=schedule.machine,
     )
 
 
@@ -168,7 +170,11 @@ def reverse_objects(
     """Objects oracle for :func:`reverse` (see shim docstring)."""
     params = schedule.params
     if not schedule.sends:
-        return Schedule(params=params, initial=initial or dict(schedule.initial))
+        return Schedule(
+            params=params,
+            initial=initial or dict(schedule.initial),
+            machine=schedule.machine,
+        )
     completion = max(op.arrival(params) for op in schedule.sends)
 
     def default_item(op: SendOp) -> Item:
@@ -198,12 +204,15 @@ def reverse_objects(
         sends=sorted(sends),
         initial=initial,
         source_items=source_items,
+        machine=schedule.machine,
     )
 
 
 def concat_objects(first: Schedule, second: Schedule) -> Schedule:
     """Objects oracle for :func:`concat`."""
     if first.params != second.params:
+        raise ValueError("cannot concatenate schedules for different machines")
+    if first.machine != second.machine:
         raise ValueError("cannot concatenate schedules for different machines")
     params = first.params
     finish = max((op.arrival(params) for op in first.sends), default=0)
@@ -218,6 +227,7 @@ def concat_objects(first: Schedule, second: Schedule) -> Schedule:
         sends=sorted(first.sends + moved.sends),
         initial=initial,
         source_items=merge_source_items(first.source_items, moved.source_items),
+        machine=first.machine,
     )
 
 
@@ -233,6 +243,7 @@ def restrict_objects(schedule: Schedule, procs: Iterable[int]) -> Schedule:
             p: set(items) for p, items in schedule.initial.items() if p in keep
         },
         source_items=merge_source_items(schedule.source_items, {}),
+        machine=schedule.machine,
     )
 
 
@@ -254,6 +265,7 @@ def canonicalize_objects(schedule: Schedule) -> tuple[Schedule, int]:
             sends=sends,
             initial={p: set(items) for p, items in schedule.initial.items()},
             source_items=dict(schedule.source_items),
+            machine=schedule.machine,
         ),
         dropped,
     )
@@ -272,6 +284,7 @@ def prune_dead_sends_objects(schedule: Schedule) -> tuple[Schedule, int]:
             sends=kept,
             initial={p: set(items) for p, items in schedule.initial.items()},
             source_items=dict(schedule.source_items),
+            machine=schedule.machine,
         ),
         removed,
     )
@@ -302,6 +315,7 @@ def compact_time_objects(schedule: Schedule) -> tuple[Schedule, int]:
                 sends=list(schedule.sends),
                 initial=copy_initial,
                 source_items={},
+                machine=schedule.machine,
             ),
             0,
         )
@@ -335,6 +349,7 @@ def compact_time_objects(schedule: Schedule) -> tuple[Schedule, int]:
                 item: compacted(when)
                 for item, when in schedule.source_items.items()
             },
+            machine=schedule.machine,
         ),
         removed_cum[-1],
     )

@@ -67,6 +67,11 @@ class PlanRequest:
     extra: tuple[tuple[str, int], ...] = ()
     storage: str = MATERIALIZED
     family: str | None = None
+    #: Optional machine topology (a frozen
+    #: ``repro.machine.model.MachineModel``).  ``None`` means the classic
+    #: flat machine; its canonical doc joins the request key, so equal
+    #: flat params with different topologies never collide.
+    machine: Any | None = None
 
 
 def canonical_request(
@@ -75,6 +80,7 @@ def canonical_request(
     *,
     storage: str = MATERIALIZED,
     family: str | None = None,
+    machine: Any | None = None,
     **kwargs: Any,
 ) -> PlanRequest:
     """Canonicalize a plan request (same surface as :func:`registry.plan`).
@@ -85,6 +91,28 @@ def canonical_request(
     identical in spirit to the registry's for anything out of domain.
     """
     spec = registry.get_spec(name)
+    if machine is not None:
+        if not spec.machine_aware and not machine.is_flat:
+            aware = ", ".join(
+                s.name for s in registry.specs() if s.machine_aware
+            )
+            raise ValueError(
+                f"{spec.name}: does not accept a machine topology "
+                f"(machine-aware collectives: {aware})"
+            )
+        if storage == IMPLICIT:
+            raise ValueError(
+                f"{spec.name}: machine= does not apply to "
+                f"storage='implicit' (per-edge pricing needs materialized "
+                f"columns)"
+            )
+        if params is None:
+            params = machine.flat_params
+        elif params != machine.flat_params:
+            raise ValueError(
+                f"{spec.name}: params {params} conflict with the machine's "
+                f"flat envelope {machine.flat_params}"
+            )
     if params is None:
         P = kwargs.pop("P", None)
         L = kwargs.pop("L", None)
@@ -139,6 +167,7 @@ def canonical_request(
         extra=tuple(sorted(extra.items())),
         storage=storage,
         family=family,
+        machine=machine,
     )
 
 
@@ -156,7 +185,20 @@ def request_from_mapping(doc: Mapping[str, Any]) -> PlanRequest:
         raise ValueError("request must name a 'collective'")
     storage = body.pop("storage", MATERIALIZED)
     family = body.pop("family", None)
-    return canonical_request(name, storage=storage, family=family, **body)
+    machine_doc = body.pop("machine", None)
+    machine = None
+    if machine_doc is not None:
+        from repro.machine.model import machine_from_doc
+
+        if not isinstance(machine_doc, Mapping):
+            raise ValueError(
+                f"'machine' must be a canonical machine doc, got "
+                f"{machine_doc!r}"
+            )
+        machine = machine_from_doc(machine_doc)
+    return canonical_request(
+        name, storage=storage, family=family, machine=machine, **body
+    )
 
 
 def request_key(request: PlanRequest) -> str:
@@ -173,6 +215,10 @@ def request_key(request: PlanRequest) -> str:
         "storage": request.storage,
         "family": request.family,
     }
+    if request.machine is not None:
+        # only present for machine-attached requests, so every existing
+        # flat key (and its on-disk index hash) stays byte-identical
+        doc["machine"] = request.machine.canonical_doc()
     return json.dumps(doc, **CANONICAL_DUMPS)
 
 
@@ -226,6 +272,8 @@ def build_plan(request: PlanRequest) -> str:
             request.params, family=request.family, **extra
         )
         return plan_content(implicit.materialize())
+    if spec.machine_aware:
+        extra["machine"] = request.machine
     if len(spec.backends) > 1:
         extra["backend"] = dispatch.builder_backend(spec.backends)
     built: Schedule = spec.build(request.params, **extra)

@@ -65,6 +65,12 @@ def violations(
     (``force_scalar=True`` is the legacy spelling of
     ``backend="objects"``).
     """
+    if schedule.machine is not None and not schedule.machine.is_flat:
+        # per-level pricing lives only in the vectorized engine; the
+        # scalar path below is flat-machine-only by construction
+        from repro.sim.validate_np import violations_np
+
+        return violations_np(schedule, check_capacity=check_capacity)
     if force_scalar:
         backend = _dispatch.OBJECTS
     if _dispatch.use_numpy(schedule.num_sends, override=backend):

@@ -17,7 +17,12 @@ validator is roughly 7-8x (see ``BENCH_PR1.json``).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.machine.model import MachineModel
 
 from repro.schedule.analysis_np import (
     ScheduleColumns,
@@ -89,16 +94,24 @@ def _adjacent_gap(
 
 
 def _overhead(
-    cols: ScheduleColumns, recv_starts: np.ndarray, o: int, problems: list[str]
+    send_starts: np.ndarray,
+    send_procs: np.ndarray,
+    recv_starts: np.ndarray,
+    recv_procs: np.ndarray,
+    o: int,
+    problems: list[str],
 ) -> None:
     # busy intervals: send overhead [t, t+o) at src, receive overhead
     # [t+o+L, t+o+L+o) at dst; all have length o, so sorted adjacency
     # suffices for overlap detection (as in the scalar path)
-    starts = np.concatenate([cols.times, recv_starts])
-    procs = np.concatenate([cols.srcs, cols.dsts])
+    starts = np.concatenate([send_starts, recv_starts])
+    procs = np.concatenate([send_procs, recv_procs])
     # scalar sorts (start, end, label) tuples; "recv@..." < "send@..."
     kind = np.concatenate(
-        [np.ones(len(cols.times), np.int64), np.zeros(len(cols.times), np.int64)]
+        [
+            np.ones(len(send_starts), np.int64),
+            np.zeros(len(recv_starts), np.int64),
+        ]
     )
     order = np.lexsort((kind, starts, procs))
     p, s, k = procs[order], starts[order], kind[order]
@@ -129,6 +142,79 @@ def _capacity_peaks(procs: np.ndarray, t0: np.ndarray, t1: np.ndarray):
     return p[starts], np.maximum.reduceat(in_group, starts)
 
 
+def _violations_machine(
+    schedule: Schedule,
+    cols: ScheduleColumns,
+    machine: "MachineModel",
+    check_capacity: bool = True,
+) -> list[str]:
+    """Per-level legality checks for non-flat machines (DESIGN S38).
+
+    Each level of the machine is an *independent interface*: gap,
+    overhead-exclusivity, and capacity constraints bind only among sends
+    of the same level, each priced with that level's ``(L, o, g)`` — a
+    node leader may drive its inter-node NIC and its intra-node bus in
+    the same cycle.  Causality and self-send are global and consume the
+    per-edge ``cols.arrivals``, and on a fault-masked machine any send
+    touching a dead rank is illegal outright.
+    """
+    problems: list[str] = []
+    _causality(schedule, cols, problems)
+
+    alive = machine.alive_np()
+    if len(alive) < machine.num_procs:
+        for role, procs in (("sends", cols.srcs), ("receives", cols.dsts)):
+            bad = ~np.isin(procs, alive)
+            for i in np.flatnonzero(bad).tolist():
+                problems.append(
+                    f"dead rank: proc {int(procs[i])} {role} at "
+                    f"t={int(cols.times[i])} but is masked out"
+                )
+
+    edge_levels = machine.edge_levels_np(cols.srcs, cols.dsts)
+    for level, p in enumerate(machine.levels):
+        mask = edge_levels == level
+        if not mask.any():
+            continue
+        times = cols.times[mask]
+        srcs = cols.srcs[mask]
+        dsts = cols.dsts[mask]
+        recv_starts = cols.arrivals[mask] - p.o
+
+        _adjacent_gap(
+            srcs,
+            times,
+            dsts,
+            p.g,
+            "send gap: proc {proc} sends at t={prev} and t={cur} "
+            f"(< g={p.g} apart)",
+            problems,
+        )
+        _adjacent_gap(
+            dsts,
+            recv_starts,
+            srcs,
+            p.g,
+            "receive gap: proc {proc} receives at t={prev} and t={cur} "
+            f"(< g={p.g} apart)",
+            problems,
+        )
+        if p.o > 0:
+            _overhead(times, srcs, recv_starts, dsts, p.o, problems)
+        if check_capacity:
+            cap = p.capacity
+            t0 = times + p.o
+            t1 = t0 + p.L
+            for direction, endpoint in (("from", srcs), ("to", dsts)):
+                procs, peaks = _capacity_peaks(endpoint, t0, t1)
+                for proc in procs[peaks > cap].tolist():
+                    problems.append(
+                        f"capacity: > {cap} messages in transit "
+                        f"{direction} proc {proc}"
+                    )
+    return problems
+
+
 def violations_np(schedule: Schedule, check_capacity: bool = True) -> list[str]:
     """Vectorized equivalent of :func:`repro.sim.validate.violations`.
 
@@ -141,6 +227,12 @@ def violations_np(schedule: Schedule, check_capacity: bool = True) -> list[str]:
     cols = columns(schedule)
     if len(cols.times) == 0:
         return problems
+
+    machine = schedule.machine
+    if machine is not None and not machine.is_flat:
+        return _violations_machine(
+            schedule, cols, machine, check_capacity=check_capacity
+        )
 
     _causality(schedule, cols, problems)
 
@@ -166,7 +258,7 @@ def violations_np(schedule: Schedule, check_capacity: bool = True) -> list[str]:
     )
 
     if params.o > 0:
-        _overhead(cols, recv_starts, params.o, problems)
+        _overhead(cols.times, cols.srcs, recv_starts, cols.dsts, params.o, problems)
 
     if check_capacity:
         cap = params.capacity

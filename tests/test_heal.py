@@ -1,0 +1,272 @@
+"""Fault-aware replanning: heal_columns, HealPass, and the chaos suite.
+
+Covers the PR-10 repair story end to end: the two-stage heal kernel on
+flat and hierarchical machines, the registered ``heal`` pass inside
+``opt`` pipelines (the restrict -> coverage-loss -> heal regression),
+and a Hypothesis chaos suite that kills random rank sets and asserts
+the healed schedule always covers the survivors, lints clean on the
+structural rules, and respects the re-verified completion bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import registry
+from repro.analyze import Severity, lint_schedule
+from repro.machine import (
+    FaultMaskedMachine,
+    HierarchicalMachine,
+    HealStats,
+    heal_columns,
+)
+from repro.params import LogPParams
+from repro.sim.validate_np import violations_np
+
+INTER = LogPParams(P=4, L=8, o=1, g=3)
+INTRA = LogPParams(P=4, L=2, o=0, g=1)
+HIER = HierarchicalMachine(nodes=4, cores=4, inter=INTER, intra=INTRA)
+
+STRUCTURAL_RULES = ["SCHED001", "SCHED002", "SCHED003", "SCHED004", "SCHED005"]
+
+
+def assert_structurally_clean(schedule):
+    report = lint_schedule(schedule, select=STRUCTURAL_RULES)
+    assert report.at_least(Severity.WARNING) == [], [
+        d.message for d in report.at_least(Severity.WARNING)
+    ]
+
+
+def informed_set(schedule):
+    cols = schedule.columns()
+    informed = {
+        proc for proc, items in schedule.initial.items() if items
+    }
+    informed.update(cols.dsts.tolist())
+    return informed
+
+
+class TestHealColumns:
+    def test_intact_schedule_is_a_no_op(self):
+        schedule = registry.plan("broadcast", P=8, L=6, o=2, g=4)
+        healed, stats = heal_columns(schedule)
+        assert stats == HealStats(
+            dropped_sends=0,
+            healed_sends=0,
+            uncovered_before=0,
+            uncovered_after=0,
+            makespan_before=stats.makespan_before,
+            makespan_after=stats.makespan_before,
+            completion_bound=stats.makespan_before,
+        )
+        assert healed.num_sends == schedule.num_sends
+
+    def test_reinforms_subtree_after_internal_rank_removed(self):
+        # rank 1 is the busiest forwarder of the P=16 optimal broadcast;
+        # removing it orphans its whole subtree
+        schedule = registry.plan("broadcast", P=16, L=6, o=2, g=4)
+        survivors = set(range(16)) - {1}
+        healed, stats = heal_columns(schedule, procs=survivors)
+        assert stats.uncovered_before > 0
+        assert stats.uncovered_after == 0
+        assert informed_set(healed) == survivors
+        assert violations_np(healed) == []
+        assert_structurally_clean(healed)
+        # the closed form over 15 survivors is re-verified and respected
+        assert stats.completion_bound is not None
+        assert stats.makespan_after >= stats.completion_bound
+
+    def test_fault_masked_machine_supplies_the_survivor_set(self):
+        machine = FaultMaskedMachine(base=HIER, dead=(5, 10))
+        schedule = registry.plan("hier-bcast", machine=machine)
+        healed, stats = heal_columns(schedule)
+        assert stats.dropped_sends > 0
+        assert stats.uncovered_after == 0
+        assert informed_set(healed) == set(range(16)) - {5, 10}
+        assert violations_np(healed) == []
+        # hierarchical pricing has no flat closed form to hold heal to
+        assert stats.completion_bound is None
+
+    def test_dead_leader_orphans_whole_node(self):
+        machine = FaultMaskedMachine(base=HIER, dead=(4,))  # node 1 leader
+        schedule = registry.plan("hier-bcast", machine=machine)
+        healed, stats = heal_columns(schedule)
+        # the leader's intra fan-out (3 sends) and its incoming inter
+        # send all die; the node's 3 surviving cores must be re-informed
+        assert stats.uncovered_before == 3
+        assert stats.uncovered_after == 0
+        assert violations_np(healed) == []
+        assert_structurally_clean(healed)
+
+    def test_root_must_survive(self):
+        schedule = registry.plan("broadcast", P=8, L=6, o=2, g=4)
+        with pytest.raises(ValueError, match="root"):
+            heal_columns(schedule, procs={1, 2, 3})
+
+    def test_out_of_range_survivors_rejected(self):
+        schedule = registry.plan("broadcast", P=8, L=6, o=2, g=4)
+        with pytest.raises(ValueError, match="survivor ranks"):
+            heal_columns(schedule, procs={0, 99})
+
+    def test_multi_item_schedules_rejected(self):
+        schedule = registry.plan("kitem", P=5, L=3, k=4)
+        with pytest.raises(ValueError, match="single-item"):
+            heal_columns(schedule)
+
+    def test_healed_schedule_keeps_the_machine(self):
+        machine = FaultMaskedMachine(base=HIER, dead=(7,))
+        schedule = registry.plan("hier-bcast", machine=machine)
+        healed, _ = heal_columns(schedule)
+        assert healed.machine == machine
+        assert healed.is_array_backed
+
+
+class TestHealPass:
+    def test_registered_with_the_pass_framework(self):
+        from repro.passes import pass_specs
+
+        names = [spec.name for spec in pass_specs()]
+        assert "heal" in names
+
+    def test_restrict_then_heal_pipeline_recovers_coverage(self):
+        from repro.passes import PassManager
+
+        schedule = registry.plan("broadcast", P=16, L=6, o=2, g=4)
+        survivors = "+".join(str(p) for p in range(16) if p != 1)
+        broken = PassManager(
+            f"restrict{{procs={survivors}}}", verify="off"
+        ).run(schedule)
+        report = lint_schedule(broken)
+        fired = {d.rule for d in report.at_least(Severity.WARNING)}
+        assert "SCHED001" in fired and "SCHED010" in fired
+        healed = PassManager(
+            f"restrict{{procs={survivors}}},heal{{procs={survivors}}}",
+            verify="off",
+        ).run(schedule)
+        assert lint_schedule(healed).at_least(Severity.WARNING) == []
+
+    def test_cli_regression_restrict_reports_loss_heal_clears_it(
+        self, capsys
+    ):
+        # the ISSUE's satellite regression: `repro opt --pipeline
+        # "restrict{...}"` reports the coverage loss, adding heal
+        # clears it
+        from repro.cli import main
+
+        survivors = "+".join(str(p) for p in range(16) if p != 1)
+        base = [
+            "opt",
+            "--builder",
+            "broadcast",
+            "-P",
+            "16",
+            "-L",
+            "6",
+            "--o",
+            "2",
+            "--g",
+            "4",
+            "--fail-on",
+            "warning",
+        ]
+        rc = main(base + ["--pipeline", f"restrict{{procs={survivors}}}"])
+        capsys.readouterr()
+        assert rc == 1
+        rc = main(
+            base
+            + [
+                "--pipeline",
+                f"restrict{{procs={survivors}}},heal{{procs={survivors}}}",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "heal" in out and "uncovered_after=0" in out
+
+    def test_cli_run_heals_masked_plans_before_executing(self, capsys):
+        from repro.cli import main
+
+        rc = main(
+            [
+                "run",
+                "--builder",
+                "hier-bcast",
+                "--machine",
+                "hier:4x4:8/1/3:2/0/1:dead=5",
+                "--verify",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "executed 14 sends" in out
+        assert "healed around 1 dead rank(s) 5" in out
+        assert "verified" in out
+
+    def test_cli_run_masked_reduce_rejected_with_one_liner(self, capsys):
+        from repro.cli import main
+
+        rc = main(
+            [
+                "run",
+                "--builder",
+                "hier-reduce",
+                "--machine",
+                "hier:4x4:8/1/3:2/0/1:dead=5",
+            ]
+        )
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "single-item broadcast" in err
+
+    def test_heal_refuses_implicit_plans(self):
+        from repro.passes import HealPass
+
+        implicit = registry.plan(
+            "broadcast", P=64, L=4, o=1, g=2, storage="implicit"
+        )
+        with pytest.raises(TypeError, match="materialize"):
+            HealPass().run_implicit(implicit)
+
+
+# -- chaos suite ---------------------------------------------------------
+
+kill_sets = st.sets(
+    st.integers(min_value=1, max_value=15), min_size=1, max_size=12
+)
+
+
+class TestChaos:
+    @settings(max_examples=60, deadline=None)
+    @given(dead=kill_sets)
+    def test_random_kills_on_the_hier_machine_always_heal(self, dead):
+        machine = FaultMaskedMachine(base=HIER, dead=tuple(dead))
+        schedule = registry.plan("hier-bcast", machine=machine)
+        healed, stats = heal_columns(schedule)
+        survivors = set(range(16)) - dead
+        assert stats.uncovered_after == 0
+        assert informed_set(healed) == survivors
+        assert violations_np(healed) == []
+        assert_structurally_clean(healed)
+
+    @settings(max_examples=60, deadline=None)
+    @given(dead=kill_sets)
+    def test_random_kills_on_flat_broadcast_respect_the_bound(self, dead):
+        params = LogPParams(P=16, L=6, o=2, g=4)
+        schedule = registry.plan("broadcast", params)
+        survivors = set(range(16)) - dead
+        healed, stats = heal_columns(schedule, procs=survivors)
+        assert stats.uncovered_after == 0
+        assert informed_set(healed) == survivors
+        assert violations_np(healed) == []
+        assert_structurally_clean(healed)
+        # re-verified closed form over the survivor count: healing may
+        # cost time but can never claim to beat the broadcast optimum
+        assert stats.completion_bound is not None
+        from repro.core.fib import broadcast_time
+
+        assert stats.completion_bound == broadcast_time(
+            len(survivors), params
+        )
+        assert stats.makespan_after >= stats.completion_bound

@@ -1,0 +1,196 @@
+"""The machine layer (DESIGN S38): models, specs, docs, defaults.
+
+Covers the :mod:`repro.machine.model` surface on its own — pricing,
+liveness, canonical docs, the CLI spec grammar, and the default
+P-factoring — independent of the composition and healing suites.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine.model import (
+    FaultMaskedMachine,
+    FlatMachine,
+    HierarchicalMachine,
+    default_hier_machine,
+    machine_from_doc,
+    machine_from_spec,
+)
+from repro.params import LogPParams
+
+INTER = LogPParams(P=8, L=24, o=2, g=6)
+INTRA = LogPParams(P=8, L=2, o=1, g=1)
+HIER = HierarchicalMachine(nodes=8, cores=8, inter=INTER, intra=INTRA)
+
+
+class TestFlatMachine:
+    def test_is_flat_and_has_flat_pricing(self):
+        m = FlatMachine(LogPParams(P=4, L=6, o=2, g=4))
+        assert m.is_flat and m.has_flat_pricing
+        assert m.num_procs == 4
+        assert m.flat_params == LogPParams(P=4, L=6, o=2, g=4)
+        assert m.levels == (m.flat_params,)
+
+    def test_every_edge_priced_at_send_cost(self):
+        m = FlatMachine(LogPParams(P=4, L=6, o=2, g=4))
+        srcs = np.array([0, 1, 2])
+        dsts = np.array([3, 0, 1])
+        assert (m.edge_levels_np(srcs, dsts) == 0).all()
+        assert (m.send_cost_np(srcs, dsts) == 6 + 2 * 2).all()
+
+    def test_alive_and_expected(self):
+        m = FlatMachine(LogPParams(P=3, L=1))
+        assert m.alive_np().tolist() == [0, 1, 2]
+        assert m.expected_participants() is None
+
+
+class TestHierarchicalMachine:
+    def test_shape_and_envelope(self):
+        assert HIER.num_procs == 64
+        assert not HIER.is_flat and not HIER.has_flat_pricing
+        # the flat envelope prices every edge at the inter level
+        assert HIER.flat_params == INTER.with_processors(64)
+        assert HIER.levels == (
+            INTER.with_processors(8),
+            INTRA.with_processors(8),
+        )
+
+    def test_edge_levels_split_on_node_boundary(self):
+        srcs = np.array([0, 0, 8, 9, 63])
+        dsts = np.array([1, 8, 9, 15, 55])
+        # same node -> level 1 (intra), cross node -> level 0 (inter)
+        assert HIER.edge_levels_np(srcs, dsts).tolist() == [1, 0, 1, 1, 0]
+        assert HIER.send_cost_np(srcs, dsts).tolist() == [
+            2 + 2 * 1,
+            24 + 2 * 2,
+            2 + 2 * 1,
+            2 + 2 * 1,
+            24 + 2 * 2,
+        ]
+
+    def test_leaders(self):
+        assert [HIER.leader(n) for n in range(8)] == [
+            0, 8, 16, 24, 32, 40, 48, 56,
+        ]
+
+    def test_doc_round_trip(self):
+        doc = HIER.canonical_doc()
+        assert doc["kind"] == "hier"
+        assert machine_from_doc(doc) == HIER
+
+    def test_level_param_P_normalized(self):
+        # the per-level LogPParams carry the level's own processor count,
+        # whatever P the caller passed in
+        m = HierarchicalMachine(
+            nodes=4,
+            cores=2,
+            inter=LogPParams(P=99, L=5, o=1, g=2),
+            intra=LogPParams(P=1, L=1),
+        )
+        assert m.inter.P == 4 and m.intra.P == 2
+
+
+class TestFaultMaskedMachine:
+    def test_delegates_pricing_and_masks_liveness(self):
+        m = FaultMaskedMachine(base=HIER, dead=(9, 27))
+        assert m.num_procs == 64
+        assert m.flat_params == HIER.flat_params
+        assert m.levels == HIER.levels
+        srcs, dsts = np.array([0, 0]), np.array([1, 8])
+        assert (
+            m.send_cost_np(srcs, dsts) == HIER.send_cost_np(srcs, dsts)
+        ).all()
+        alive = m.alive_np()
+        assert 9 not in alive and 27 not in alive and len(alive) == 62
+        expected = m.expected_participants()
+        assert expected is not None and expected.tolist() == alive.tolist()
+
+    def test_dead_sorted_and_deduped(self):
+        m = FaultMaskedMachine(base=HIER, dead=(27, 9, 27))
+        assert m.dead == (9, 27)
+
+    def test_nested_masks_flatten(self):
+        inner = FaultMaskedMachine(base=HIER, dead=(9,))
+        outer = FaultMaskedMachine(base=inner, dead=(27,))
+        assert outer.base is HIER
+        assert outer.dead == (9, 27)
+
+    def test_rejects_out_of_range_and_total_death(self):
+        with pytest.raises(ValueError):
+            FaultMaskedMachine(base=HIER, dead=(64,))
+        with pytest.raises(ValueError):
+            FaultMaskedMachine(base=HIER, dead=tuple(range(64)))
+
+    def test_doc_round_trip(self):
+        m = FaultMaskedMachine(base=HIER, dead=(3, 5))
+        doc = m.canonical_doc()
+        assert doc["kind"] == "fault" and doc["dead"] == [3, 5]
+        assert machine_from_doc(doc) == m
+
+    def test_stray_doc_keys_rejected(self):
+        # docs feed cache keys: a hier doc with a stray 'dead' key must
+        # error, not silently alias the unmasked machine
+        doc = dict(HIER.canonical_doc())
+        doc["dead"] = [9]
+        with pytest.raises(ValueError, match="unknown key"):
+            machine_from_doc(doc)
+
+
+class TestSpecGrammar:
+    def test_flat(self):
+        params = LogPParams(P=8, L=6, o=2, g=4)
+        assert machine_from_spec("flat", params) == FlatMachine(params)
+
+    def test_flat_requires_params(self):
+        with pytest.raises(ValueError):
+            machine_from_spec("flat")
+
+    def test_hier_reference_cluster(self):
+        m = machine_from_spec("hier:8x8:24/2/6:2/1/1")
+        assert m == HierarchicalMachine(
+            nodes=8,
+            cores=8,
+            inter=LogPParams(P=8, L=24, o=2, g=6),
+            intra=LogPParams(P=8, L=2, o=1, g=1),
+        )
+
+    def test_dead_suffix_wraps(self):
+        m = machine_from_spec("hier:8x8:24/2/6:2/1/1:dead=9+27")
+        assert isinstance(m, FaultMaskedMachine)
+        assert m.dead == (9, 27)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "mesh:2x2:1/0/1:1/0/1",
+            "hier:8x8:24/2/6",
+            "hier:8:24/2/6:2/1/1",
+            "hier:8x8:24/2:2/1/1",
+            "hier:8x8:24/2/6:2/1/1:dead=",
+            "flat:extra",
+        ],
+    )
+    def test_malformed_specs_raise(self, bad):
+        with pytest.raises(ValueError):
+            machine_from_spec(bad, LogPParams(P=4, L=2))
+
+
+class TestDefaultHierMachine:
+    def test_squarest_factoring(self):
+        m = default_hier_machine(LogPParams(P=512, L=8, o=1, g=2))
+        assert (m.nodes, m.cores) == (32, 16)
+        assert m.flat_params == LogPParams(P=512, L=8, o=1, g=2)
+
+    def test_prime_P_degenerates_to_single_core_nodes(self):
+        m = default_hier_machine(LogPParams(P=7, L=3))
+        assert (m.nodes, m.cores) == (7, 1)
+
+    def test_docs_distinguish_topologies_at_equal_envelope(self):
+        params = LogPParams(P=64, L=24, o=2, g=6)
+        a = HierarchicalMachine(nodes=8, cores=8, inter=params, intra=INTRA)
+        b = HierarchicalMachine(nodes=4, cores=16, inter=params, intra=INTRA)
+        assert a.flat_params == b.flat_params
+        assert a.canonical_doc() != b.canonical_doc()

@@ -60,6 +60,8 @@ class TestEverySpec:
             "summation",
             "allreduce",
             "reduction",
+            "hier-bcast",
+            "hier-reduce",
         )
 
     @pytest.mark.parametrize("spec", SPECS_BY_ID)
